@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``benchmarks/test_fig*.py`` / ``test_table3.py`` file regenerates
+one table or figure of the paper: it runs the corresponding experiment
+under pytest-benchmark timing, prints the measured rows/series next to
+the paper's values, and asserts the shape claims (who wins, orderings,
+crossovers) hold.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+#: Table size used by the regeneration benchmarks. Transactions/s is
+#: size-independent in this model (verified by a test), so a moderate
+#: size keeps the full suite fast while exercising multiple large
+#: packets per phase.
+TABLE_SIZE = 1500
+
+
+@pytest.fixture(scope="session")
+def table_size():
+    return TABLE_SIZE

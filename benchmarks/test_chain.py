@@ -1,0 +1,65 @@
+"""Multi-router propagation benches: how a table load traverses a chain
+of simulated routers, and how packet size changes the propagation mode.
+
+An extension of the paper's single-router methodology: each hop pays the
+full receive/decide/install/re-advertise cost, so end-to-end convergence
+depends on both the slowest platform and the packet size (store-and-
+forward for large UPDATEs, cut-through pipelining for small ones).
+"""
+
+import pytest
+
+from repro.benchmark.chain import run_chain_propagation
+
+
+def test_homogeneous_chain_profile(benchmark):
+    result = benchmark.pedantic(
+        run_chain_propagation,
+        args=(["pentium3", "pentium3", "pentium3"],),
+        kwargs={"table_size": 500, "prefixes_per_update": 500},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nP-III x3, large packets — hop completion times:",
+          [f"{t:.2f}s" for t in result.fib_complete_at])
+    assert result.fib_sizes == [500, 500, 500]
+    times = result.fib_complete_at
+    assert times[0] < times[1] < times[2]
+
+
+def test_packet_size_changes_propagation_mode(benchmark):
+    """Large packets store-and-forward; small packets pipeline across
+    hops — the chain-level face of the paper's packet-size observation."""
+
+    def run_both():
+        large = run_chain_propagation(
+            ["pentium3"] * 3, table_size=400, prefixes_per_update=400
+        )
+        small = run_chain_propagation(
+            ["pentium3"] * 3, table_size=400, prefixes_per_update=1
+        )
+        return large, small
+
+    large, small = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    large_stretch = large.end_to_end / large.fib_complete_at[0]
+    small_stretch = small.end_to_end / small.fib_complete_at[0]
+    print(f"\nchain stretch (end-to-end / first hop): "
+          f"large packets {large_stretch:.2f}x, small packets {small_stretch:.2f}x")
+    # Large packets: each hop adds a substantial fraction of a full
+    # processing pass. Small packets: downstream rides the pipeline.
+    assert large_stretch > 1.5
+    assert small_stretch < 1.2
+
+
+def test_slowest_hop_dominates_mixed_chain(benchmark):
+    result = benchmark.pedantic(
+        run_chain_propagation,
+        args=(["xeon", "pentium3", "ixp2400"],),
+        kwargs={"table_size": 400},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nxeon -> pentium3 -> ixp2400 completion:",
+          [f"{t:.2f}s" for t in result.fib_complete_at])
+    delays = result.per_hop_delays()
+    assert delays[2] > 4 * delays[0]  # the XScale dwarfs the Xeon

@@ -1,0 +1,28 @@
+"""Regenerate Figure 4: Pentium III CPU load, small versus large packets.
+
+Prints both runs' per-process means and asserts the paper's contrast:
+with small packets xorp_bgp/xorp_fea/xorp_rib compete for the CPU
+throughout; with large packets the processing is staged and the run is
+shorter.
+"""
+
+from repro.experiments.fig4 import busy_overlap_fraction, render, run_fig4
+
+
+def test_fig4_small_vs_large_packets(benchmark, table_size):
+    result = benchmark.pedantic(
+        run_fig4, kwargs={"table_size": table_size}, rounds=1, iterations=1
+    )
+    print()
+    print(render(result))
+
+    # Large packets: higher transactions/s, shorter run (paper Table III
+    # scenario 1 vs 2: 185.2 -> 312.5).
+    assert result.tps[2] > 1.3 * result.tps[1]
+    assert result.duration[2] < result.duration[1]
+
+    # Small packets keep bgp/fea/rib simultaneously busy for more of the
+    # run than large packets do.
+    assert busy_overlap_fraction(result.series[1]) > busy_overlap_fraction(
+        result.series[2]
+    )

@@ -1,0 +1,56 @@
+"""Regenerate Figure 5: transactions/s versus cross-traffic, all eight
+benchmarks on all four systems.
+
+Prints every curve and asserts the per-platform shapes the paper
+highlights:
+
+* the IXP2400 is flat (forwarding offloaded to packet processors);
+* the Pentium III and Xeon decline gradually;
+* the Cisco is flat for small packets and collapses near its 78 Mb/s
+  port limit for large packets;
+* the zero-traffic column reproduces Table III.
+"""
+
+import pytest
+
+from repro.experiments.fig5 import render, run_fig5
+from repro.experiments.paperdata import PAPER_TABLE3
+
+
+def test_fig5_full_sweep(benchmark):
+    # 8 scenarios x 4 platforms x 5 sweep points = 160 scenario runs.
+    result = benchmark.pedantic(
+        run_fig5, kwargs={"table_size": 1200, "points": 5}, rounds=1, iterations=1
+    )
+    print()
+    print(render(result))
+
+    # IXP2400: flat — forwarding runs on the packet processors.
+    for scenario in range(1, 9):
+        assert result.degradation(scenario, "ixp2400") == pytest.approx(
+            1.0, abs=0.05
+        ), scenario
+
+    # Pentium III and Xeon: gradual decline, degraded but not collapsed.
+    for platform in ("pentium3", "xeon"):
+        for scenario in range(1, 9):
+            rates = [tps for _mbps, tps in result.series[scenario][platform]]
+            assert rates[-1] < rates[0], (platform, scenario)
+            assert rates[-1] > 0.25 * rates[0], (platform, scenario)
+
+    # Cisco: small packets flat (paced input path is not CPU-bound)...
+    for scenario in (1, 3, 5, 7):
+        assert result.degradation(scenario, "cisco") == pytest.approx(
+            1.0, abs=0.1
+        ), scenario
+    # ...large packets drop "drastically as cross-traffic approaches
+    # 100 Mb/s" (log scale in the paper).
+    for scenario in (2, 4, 6, 8):
+        assert result.degradation(scenario, "cisco") < 0.15, scenario
+
+    # The 0 Mb/s column corresponds to Table III.
+    for scenario in range(1, 9):
+        measured = result.series[scenario]["pentium3"][0][1]
+        assert measured == pytest.approx(
+            PAPER_TABLE3["pentium3"][scenario], rel=0.40
+        ), scenario

@@ -1,0 +1,33 @@
+"""Regenerate Figure 6: Pentium III CPU breakdown and forwarding rate
+during Scenario 8, without and with 300 Mb/s of cross-traffic.
+"""
+
+import pytest
+
+from repro.experiments.fig6 import render, run_fig6
+from repro.experiments.paperdata import PAPER_P3_INTERRUPT_SHARE_AT_300MBPS
+
+
+def test_fig6_cpu_breakdown_and_forwarding(benchmark, table_size):
+    result = benchmark.pedantic(
+        run_fig6, kwargs={"table_size": table_size}, rounds=1, iterations=1
+    )
+    print()
+    print(render(result))
+
+    # (b) Interrupt processing consumes 20-30% of the CPU at 300 Mb/s.
+    low, high = PAPER_P3_INTERRUPT_SHARE_AT_300MBPS
+    share = result.interrupt_share_during_run()
+    assert low - 0.05 <= share <= high + 0.05
+
+    # Cross-traffic "reduces the available CPU time for BGP processing
+    # and thus extends the time it takes to complete the benchmark".
+    assert result.duration["with-traffic"] > 1.3 * result.duration["no-traffic"]
+
+    # (c) "Shortly after the start of Phase 3, the forwarding rate
+    # decreases" below the offered 300 Mb/s.
+    assert result.min_forwarding_in_phase3() < 0.8 * result.cross_mbps
+
+    # Without cross-traffic there is no interrupt load at all.
+    quiet_interrupts = result.cpu["no-traffic"]["interrupts"]
+    assert all(v == pytest.approx(0.0, abs=0.5) for _t, v in quiet_interrupts)

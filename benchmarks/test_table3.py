@@ -1,0 +1,49 @@
+"""Regenerate Table III: transactions/s, 8 scenarios x 4 systems.
+
+Prints the measured/paper table and asserts every qualitative claim the
+paper draws from it.
+"""
+
+import pytest
+
+from repro.benchmark import run_scenario
+from repro.experiments.paperdata import PAPER_TABLE3, PLATFORM_ORDER
+from repro.experiments.table3 import render, run_table3
+from repro.systems import build_system
+
+
+def test_table3_full_grid(benchmark, table_size):
+    result = benchmark.pedantic(
+        run_table3, kwargs={"table_size": table_size}, rounds=1, iterations=1
+    )
+    print()
+    print(render(result))
+    failing = [claim for claim, ok in result.checks().items() if not ok]
+    assert not failing, failing
+
+
+@pytest.mark.parametrize("platform", PLATFORM_ORDER)
+def test_table3_row(benchmark, platform, table_size):
+    """One platform's full row, timed per platform."""
+
+    def run_row():
+        return {
+            scenario: run_scenario(
+                build_system(platform), scenario, table_size=table_size
+            ).transactions_per_second
+            for scenario in range(1, 9)
+        }
+
+    row = benchmark.pedantic(run_row, rounds=1, iterations=1)
+    print(f"\n{platform}: " + "  ".join(
+        f"s{s}={v:.1f}(paper {PAPER_TABLE3[platform][s]:.0f})"
+        for s, v in row.items()
+    ))
+    # Large packets beat small packets on the XORP platforms.
+    if platform != "cisco":
+        assert row[2] > row[1]
+        assert row[6] > row[5]
+    else:
+        # Cisco: paced small-packet path sits near 10.8 tps everywhere.
+        for scenario in (1, 3, 5, 7):
+            assert row[scenario] == pytest.approx(10.8, rel=0.05)

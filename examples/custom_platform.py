@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Benchmark a hypothetical next-generation router platform.
+
+The paper closes by asking what architectures would serve the BGP
+workload better (§V.C). The benchmark is "applicable to any BGP router"
+(§IV), and the library keeps platforms as plain data — so this example
+defines a platform the paper did not have: a quad-core system with a
+dedicated forwarding offload engine (separating control and data plane,
+the paper's own recommendation), and runs the full eight-scenario
+benchmark against the stock Xeon.
+
+Run:  python examples/custom_platform.py
+"""
+
+import dataclasses
+
+from repro.benchmark import run_scenario
+from repro.systems import build_system
+from repro.systems.platforms import PLATFORMS, ForwardingSpec
+from repro.systems.router import XorpRouter
+
+# A 2010-class design: four cores, no SMT sharing penalty, and the
+# paper's key recommendation applied — forwarding on separate hardware
+# ("it is imperative to use different processing resources for control
+# and data plane").
+QUADCORE_OFFLOAD = dataclasses.replace(
+    PLATFORMS["xeon"],
+    name="quadcore-offload",
+    description="Hypothetical quad-core control CPU + forwarding offload engine",
+    cores=4,
+    threads_per_core=1,
+    smt_efficiency=1.0,
+    speed=5.0,
+    forwarding=ForwardingSpec(
+        kind="offload",
+        max_mbps=10_000.0,
+        limit_reason="10 GbE offload engine",
+    ),
+    offload_processors=16,
+    offload_cost_per_mbit=1.0e-3,
+)
+
+
+def main() -> None:
+    table_size = 3000
+    print(f"Eight-scenario benchmark, table size {table_size}\n")
+    print(f"{'scenario':9s} {'xeon':>10s} {'quadcore':>10s} {'speedup':>9s}")
+    print("-" * 42)
+    for scenario in range(1, 9):
+        xeon = run_scenario(build_system("xeon"), scenario, table_size=table_size)
+        custom = run_scenario(
+            XorpRouter(QUADCORE_OFFLOAD), scenario, table_size=table_size
+        )
+        speedup = custom.transactions_per_second / xeon.transactions_per_second
+        print(
+            f"{scenario:>8d}  {xeon.transactions_per_second:>10.1f} "
+            f"{custom.transactions_per_second:>10.1f} {speedup:>8.2f}x"
+        )
+
+    # Under full cross-traffic the gap widens: the offload design keeps
+    # its control CPU untouched (like the IXP2400, but with a fast CPU).
+    print("\nScenario 1 under heavy cross-traffic:")
+    for mbps in (0.0, 784.0):
+        xeon = run_scenario(
+            build_system("xeon"), 1, table_size=table_size, cross_traffic_mbps=mbps
+        )
+        custom = run_scenario(
+            XorpRouter(QUADCORE_OFFLOAD),
+            1,
+            table_size=table_size,
+            cross_traffic_mbps=mbps,
+        )
+        print(
+            f"  {mbps:6.0f} Mb/s: xeon {xeon.transactions_per_second:8.1f} tps, "
+            f"quadcore-offload {custom.transactions_per_second:8.1f} tps"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Intra-AS routing next to BGP: convergence after a link failure.
+
+The paper's related-work section (§II) positions BGP against OSPF and
+RIP. This example runs all three protocol substrates through the same
+event — a link/route failure — and contrasts how they converge:
+
+* OSPF re-floods two LSAs and recomputes SPF everywhere: one event
+  round, cost dominated by the Dijkstra runs;
+* RIP needs multiple advertisement rounds bounded by the network
+  diameter — and without split horizon it exhibits the classic
+  count-to-infinity pathology;
+* BGP (on the simulated Pentium III router) processes the equivalent
+  withdrawal burst at its measured transactions/s, with policy and RIB
+  machinery in the path.
+
+Run:  python examples/igp_convergence.py
+"""
+
+from repro.benchmark import run_scenario
+from repro.igp.ospf import OspfNetwork
+from repro.igp.rip import RipNetwork
+from repro.igp.topology import Topology
+from repro.systems import build_system
+
+RING_SIZE = 10
+
+
+def ospf_failure() -> None:
+    topology = Topology.ring(RING_SIZE)
+    network = OspfNetwork(topology)
+    network.announce_all()
+    lsas_before = sum(r.lsas_processed for r in network.routers.values())
+    spf_before = sum(r.spf_runs for r in network.routers.values())
+    topology.remove_link("r0", "r1")
+    network.link_event("r0", "r1")
+    lsas = sum(r.lsas_processed for r in network.routers.values()) - lsas_before
+    spf = sum(r.spf_runs for r in network.routers.values()) - spf_before
+    detour = network.routers["r0"].cost_to("r1")
+    print(
+        f"  OSPF: 2 LSAs re-originated, {lsas} LSA receptions flooded, "
+        f"{spf} SPF runs; r0 now reaches r1 at cost {detour:.0f} (the long arc)"
+    )
+
+
+def rip_failure(split_horizon: bool) -> None:
+    network = RipNetwork(
+        Topology.ring(RING_SIZE),
+        split_horizon=split_horizon,
+        poisoned_reverse=split_horizon,
+    )
+    network.converge()
+    network.fail_link("r0", "r1")
+    rounds = network.converge(max_rounds=200)
+    label = "with split horizon" if split_horizon else "WITHOUT split horizon"
+    metric = network.routers["r0"].table["r1"].metric
+    print(
+        f"  RIP {label}: {rounds} advertisement rounds to reconverge "
+        f"(r0->r1 metric now {metric})"
+    )
+
+
+def bgp_failure() -> None:
+    # The BGP equivalent: a neighbour withdraws a block of routes
+    # (benchmark Scenario 3's measured phase).
+    result = run_scenario(build_system("pentium3"), 3, table_size=1000)
+    print(
+        f"  BGP (Pentium III): withdrawing 1000 prefixes took "
+        f"{result.duration:.1f} virtual s ({result.transactions_per_second:.0f} "
+        f"withdrawals/s) — RIB, policy, and FIB machinery in the path"
+    )
+
+
+def main() -> None:
+    print(f"Link-failure convergence on a {RING_SIZE}-router ring:\n")
+    ospf_failure()
+    rip_failure(split_horizon=True)
+    rip_failure(split_horizon=False)
+    bgp_failure()
+    print(
+        "\n§II in one screen: OSPF converges in one flooding round, RIP\n"
+        "in diameter-many rounds (or counts to infinity without split\n"
+        "horizon), and BGP pays per-prefix policy/RIB/FIB costs that the\n"
+        "paper's benchmark quantifies."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Quickstart: benchmark one router platform with one scenario.
+
+Builds the dual-core Xeon model, runs benchmark Scenario 6 (incremental
+announcements, large packets, no FIB change — the fastest case in the
+paper's Table III), and prints the transactions-per-second metric plus
+the per-phase timeline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.benchmark import run_scenario
+from repro.systems import build_system
+
+
+def main() -> None:
+    router = build_system("xeon")
+    result = run_scenario(router, scenario=6, table_size=5000)
+
+    print(f"platform : {result.platform}")
+    print(f"scenario : {result.scenario.number} ({result.scenario.description})")
+    print(f"table    : {result.table_size} prefixes")
+    print()
+    for phase in result.phases:
+        print(
+            f"  phase {phase.phase}: {phase.start:8.2f}s -> {phase.end:8.2f}s"
+            f"   ({phase.transactions} transactions)"
+        )
+    print()
+    print(f"measured phase      : {result.scenario.measured_phase}")
+    print(f"transactions        : {result.transactions}")
+    print(f"duration            : {result.duration:.2f} virtual seconds")
+    print(f"transactions/second : {result.transactions_per_second:.1f}")
+    print(f"FIB size afterwards : {result.fib_size_after}")
+
+
+if __name__ == "__main__":
+    main()

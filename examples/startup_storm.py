@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Start-up storm: how long until a freshly booted router has learned
+the full table?
+
+The paper's first workload scenario: "a router is just powered up and
+needs to learn routes from neighboring routers as fast as possible"
+(§III.D). This example loads the same synthetic table into all four
+platform models — with small and with large UPDATE packets — and prints
+the virtual time each needs before its FIB is complete, i.e. before it
+can actually forward traffic correctly.
+
+Run:  python examples/startup_storm.py [table_size]
+"""
+
+import sys
+
+from repro.benchmark import run_scenario
+from repro.systems import build_system
+
+PLATFORMS = ("pentium3", "xeon", "ixp2400", "cisco")
+
+
+def main(table_size: int = 5000) -> None:
+    print(f"Cold-start table load: {table_size} prefixes\n")
+    print(f"{'platform':12s} {'packets':8s} {'time-to-learn':>14s} {'tps':>10s}")
+    print("-" * 48)
+    for platform in PLATFORMS:
+        for scenario, label in ((1, "small"), (2, "large")):
+            result = run_scenario(
+                build_system(platform), scenario, table_size=table_size
+            )
+            print(
+                f"{platform:12s} {label:8s} {result.duration:>12.1f} s "
+                f"{result.transactions_per_second:>10.1f}"
+            )
+    print()
+    print(
+        "Note the paper's operational implication: aggregating updates\n"
+        "into large packets eliminates per-packet overheads — on every\n"
+        "platform the large-packet load finishes first, and on the\n"
+        "commercial router the difference is two orders of magnitude."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 5000)

@@ -1,0 +1,112 @@
+"""ASCII chart rendering for experiment output.
+
+The paper's figures are line charts; rendering them as text keeps the
+reproduction self-contained (no plotting dependency) while still making
+the shapes — flat IXP lines, collapsing Cisco curves, the Figure 6(c)
+forwarding dip — visible directly in terminal output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+Series = Sequence[tuple[float, float]]
+
+#: Plot glyphs assigned to series in order.
+GLYPHS = "*+x#o@%&"
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(size - 1, max(0, round(position * (size - 1))))
+
+
+def render_chart(
+    series: "Mapping[str, Series]",
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    ``log_y`` plots log10(y) — the paper's Figure 5 axes. Points with
+    non-positive y are skipped in log mode.
+    """
+    points: dict[str, list[tuple[float, float]]] = {}
+    for name, data in series.items():
+        cleaned = [
+            (x, math.log10(y) if log_y else y)
+            for x, y in data
+            if not log_y or y > 0
+        ]
+        if cleaned:
+            points[name] = cleaned
+    if not points:
+        return f"{title}\n(no data)"
+
+    xs = [x for data in points.values() for x, _y in data]
+    ys = [y for data in points.values() for _x, y in data]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if y_low == y_high:
+        y_low -= 1.0
+        y_high += 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, data) in enumerate(points.items()):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        legend.append(f"{glyph}={name}")
+        for x, y in data:
+            column = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][column] = glyph
+
+    def y_tick(row: int) -> str:
+        value = y_high - (y_high - y_low) * row / (height - 1)
+        if log_y:
+            value = 10 ** value
+        return f"{value:>9.4g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"[y: {y_label}{', log scale' if log_y else ''}]")
+    for row in range(height):
+        tick = y_tick(row) if row % max(1, height // 4) == 0 or row == height - 1 else " " * 9
+        lines.append(f"{tick} |{''.join(grid[row])}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    left = f"{x_low:.4g}"
+    right = f"{x_high:.4g}"
+    padding = " " * max(1, width - len(left) - len(right))
+    lines.append(" " * 10 + left + padding + right)
+    if x_label:
+        lines.append(" " * 10 + f"[x: {x_label}]")
+    lines.append(" " * 10 + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def render_sparkline(data: Series, width: int = 60) -> str:
+    """A one-line sparkline of a series (levels 0-7 as block glyphs)."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    if not data:
+        return ""
+    values = [y for _x, y in data]
+    low, high = min(values), max(values)
+    if len(values) > width:
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    if high <= low:
+        return blocks[1] * len(values)
+    out = []
+    for value in values:
+        level = 1 + round((value - low) / (high - low) * 7)
+        out.append(blocks[min(level, 8)])
+    return "".join(out)

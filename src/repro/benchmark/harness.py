@@ -1,0 +1,296 @@
+"""The two-speaker / three-phase benchmark harness (paper Fig. 1).
+
+``run_scenario`` wires a router under test to Speaker 1 and (for the
+incremental scenarios) Speaker 2, runs the phases, and computes
+transactions per second over the measured phase only — "time spent
+setting up the scenario in Phase 1 and 2 is not considered" (§III.D).
+
+Packet delivery uses a sliding in-flight window to model TCP
+backpressure: the speakers never run more than ``window`` packets ahead
+of the router's processing, as a real TCP receive window enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.policy import ACCEPT_ALL
+from repro.bgp.speaker import PeerConfig
+from repro.benchmark.scenarios import Scenario, get_scenario
+from repro.net.addr import IPv4Address
+from repro.systems.router import RouterSystem
+from repro.workload.tablegen import SyntheticTable, generate_table
+from repro.workload.updates import UpdateStreamBuilder
+
+SPEAKER1 = "speaker1"
+SPEAKER2 = "speaker2"
+SPEAKER1_ASN = 65101
+SPEAKER2_ASN = 65102
+SPEAKER1_ADDR = IPv4Address.parse("10.255.1.1")
+SPEAKER2_ADDR = IPv4Address.parse("10.255.2.1")
+
+#: Default in-flight packet window (TCP backpressure model).
+DEFAULT_WINDOW = 8
+
+#: Large-packet size used for *unmeasured* setup phases regardless of
+#: the scenario's own packet size — setup time is excluded from the
+#: metric, so the fastest loading is used, as a real harness would.
+SETUP_PACKING = 500
+
+
+@dataclass(slots=True)
+class PhaseTrace:
+    """Timing of one benchmark phase."""
+
+    phase: int
+    start: float
+    end: float
+    transactions: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(slots=True)
+class ScenarioResult:
+    """Everything measured in one scenario run."""
+
+    scenario: Scenario
+    platform: str
+    table_size: int
+    cross_traffic_mbps: float
+    transactions: int
+    duration: float
+    phases: list[PhaseTrace] = field(default_factory=list)
+    cpu_series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    forwarding_series: list[tuple[float, float]] = field(default_factory=list)
+    fib_size_after: int = 0
+
+    @property
+    def transactions_per_second(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.transactions / self.duration
+
+
+def stream_packets(
+    router: RouterSystem,
+    peer_id: str,
+    packets: "list[bytes]",
+    window: int,
+) -> None:
+    """Deliver *packets* to *peer_id* with at most *window* in flight
+    (TCP backpressure), then run the simulation dry. Public: workload
+    examples use this to drive custom packet streams."""
+    iterator = iter(packets)
+    state = {"inflight": 0}
+
+    def feed() -> None:
+        while state["inflight"] < window:
+            packet = next(iterator, None)
+            if packet is None:
+                return
+            state["inflight"] += 1
+            router.deliver(peer_id, packet)
+
+    def on_done() -> None:
+        state["inflight"] -= 1
+        feed()
+
+    router.on_packet_done = on_done
+    try:
+        feed()
+        router.run_until_idle()
+    finally:
+        router.on_packet_done = None
+
+
+def run_scenario(
+    router: RouterSystem,
+    scenario: "int | Scenario",
+    table_size: int = 5000,
+    cross_traffic_mbps: float = 0.0,
+    window: int = DEFAULT_WINDOW,
+    seed: int = 42,
+    table: SyntheticTable | None = None,
+    settle_after: float = 0.0,
+) -> ScenarioResult:
+    """Run one benchmark scenario against a fresh router under test.
+
+    The router must be newly built (empty RIBs, as Fig. 1 assumes).
+    *settle_after* keeps the simulation running for that many extra
+    seconds after the measured phase so forwarding-rate monitors record
+    the recovery tail (Figure 6(c)).
+    """
+    spec = get_scenario(scenario)
+    if table is None:
+        table = generate_table(table_size, seed)
+    if len(router.speaker.loc_rib):
+        raise ValueError("router under test must start with empty RIBs")
+
+    speaker1 = UpdateStreamBuilder(SPEAKER1_ASN, SPEAKER1_ADDR)
+    speaker2 = UpdateStreamBuilder(SPEAKER2_ASN, SPEAKER2_ADDR)
+    phases: list[PhaseTrace] = []
+
+    router.add_peer(
+        PeerConfig(SPEAKER1, SPEAKER1_ASN, SPEAKER1_ADDR, ACCEPT_ALL, ACCEPT_ALL)
+    )
+    router.handshake(SPEAKER1, SPEAKER1_ASN, SPEAKER1_ADDR)
+    router.set_cross_traffic(cross_traffic_mbps)
+    router.export_packing = spec.prefixes_per_update
+
+    # ---- Phase 1: Speaker 1 loads the table ------------------------------
+    phase1_packing = (
+        spec.prefixes_per_update if spec.measured_phase == 1 else SETUP_PACKING
+    )
+    router.reset_counters()
+    start = router.now
+    stream_packets(router, SPEAKER1, speaker1.announcements(table, phase1_packing), window)
+    phases.append(
+        PhaseTrace(1, start, router.last_completion, router.transactions_completed)
+    )
+
+    # ---- Phase 2: initial transfer to Speaker 2 (scenarios 5-8) -----------
+    if spec.uses_second_speaker:
+        router.add_peer(
+            PeerConfig(SPEAKER2, SPEAKER2_ASN, SPEAKER2_ADDR, ACCEPT_ALL, ACCEPT_ALL)
+        )
+        router.handshake(SPEAKER2, SPEAKER2_ASN, SPEAKER2_ADDR)
+        router.reset_counters()
+        start = router.now
+        router.schedule_initial_advertisement(SPEAKER2)
+        router.run_until_idle()
+        phases.append(PhaseTrace(2, start, router.now, 0))
+
+    # ---- Phase 3 / measurement -------------------------------------------------
+    if spec.measured_phase == 3:
+        if spec.update_type == "WITHDRAW":
+            packets = speaker1.withdrawals(table, spec.prefixes_per_update)
+            sender = SPEAKER1
+        else:
+            packets = speaker2.announcements(
+                table, spec.prefixes_per_update, extra_hops=spec.path_extra_hops
+            )
+            sender = SPEAKER2
+        router.reset_counters()
+        start = router.now
+        stream_packets(router, sender, packets, window)
+        phases.append(
+            PhaseTrace(3, start, router.last_completion, router.transactions_completed)
+        )
+
+    measured = phases[-1]
+    if settle_after > 0:
+        router.run_until_idle(extra=settle_after)
+
+    return ScenarioResult(
+        scenario=spec,
+        platform=router.spec.name,
+        table_size=len(table),
+        cross_traffic_mbps=router.cross_traffic_mbps,
+        transactions=measured.transactions,
+        duration=measured.duration,
+        phases=phases,
+        cpu_series=router.cpu_monitor.table(),
+        forwarding_series=router.forwarding_monitor.series(),
+        fib_size_after=len(router.fib),
+    )
+
+
+def stream_interleaved(
+    router: RouterSystem,
+    feeds: "list[tuple[str, list[bytes]]]",
+    window: int = DEFAULT_WINDOW,
+) -> None:
+    """Deliver several peers' packet streams concurrently, round-robin,
+    sharing one in-flight window — a router with many busy neighbours."""
+    iterators = [(peer_id, iter(packets)) for peer_id, packets in feeds]
+    state = {"inflight": 0, "cursor": 0}
+
+    def feed() -> None:
+        idle_passes = 0
+        while state["inflight"] < window and iterators and idle_passes < len(iterators):
+            index = state["cursor"] % len(iterators)
+            state["cursor"] += 1
+            peer_id, iterator = iterators[index]
+            packet = next(iterator, None)
+            if packet is None:
+                idle_passes += 1
+                continue
+            idle_passes = 0
+            state["inflight"] += 1
+            router.deliver(peer_id, packet)
+
+    def on_done() -> None:
+        state["inflight"] -= 1
+        feed()
+
+    router.on_packet_done = on_done
+    try:
+        feed()
+        router.run_until_idle()
+    finally:
+        router.on_packet_done = None
+
+
+@dataclass(slots=True)
+class MultiPeerResult:
+    """Outcome of a multi-neighbour table load."""
+
+    peer_count: int
+    table_size: int
+    transactions: int
+    duration: float
+    fib_size_after: int
+
+    @property
+    def transactions_per_second(self) -> float:
+        return self.transactions / self.duration if self.duration > 0 else 0.0
+
+
+def run_multipeer_startup(
+    router: RouterSystem,
+    peer_count: int = 4,
+    table_size: int = 2000,
+    prefixes_per_update: int = 1,
+    window: int = DEFAULT_WINDOW,
+    seed: int = 42,
+    disjoint: bool = True,
+) -> MultiPeerResult:
+    """A start-up load arriving over *peer_count* concurrent sessions.
+
+    With ``disjoint=True`` each peer announces its own shard of the
+    table (the realistic cold-boot case — total work equals the
+    single-peer scenario 1). With ``disjoint=False`` every peer
+    announces the *whole* table, so each prefix triggers a decision
+    among ``peer_count`` candidates.
+    """
+    if peer_count < 1:
+        raise ValueError("need at least one peer")
+    table = generate_table(table_size, seed)
+    feeds = []
+    for index in range(peer_count):
+        asn = SPEAKER1_ASN + index
+        address = IPv4Address(SPEAKER1_ADDR.value + index * 256)
+        peer_id = f"peer{index}"
+        router.add_peer(PeerConfig(peer_id, asn, address, ACCEPT_ALL, ACCEPT_ALL))
+        router.handshake(peer_id, asn, address)
+        builder = UpdateStreamBuilder(asn, address)
+        if disjoint:
+            shard = table.entries[index::peer_count]
+        else:
+            shard = table.entries
+        feeds.append((peer_id, builder.announcements(shard, prefixes_per_update)))
+
+    router.export_packing = prefixes_per_update
+    router.reset_counters()
+    start = router.now
+    stream_interleaved(router, feeds, window)
+    return MultiPeerResult(
+        peer_count=peer_count,
+        table_size=table_size,
+        transactions=router.transactions_completed,
+        duration=router.last_completion - start,
+        fib_size_after=len(router.fib),
+    )

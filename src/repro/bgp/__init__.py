@@ -1,0 +1,58 @@
+"""A from-scratch BGP-4 implementation (RFC 4271).
+
+This package provides the protocol substrate the benchmark exercises:
+
+* :mod:`repro.bgp.messages` — byte-exact wire codec for OPEN, UPDATE,
+  KEEPALIVE, and NOTIFICATION messages;
+* :mod:`repro.bgp.attributes` — path-attribute codec (ORIGIN, AS_PATH,
+  NEXT_HOP, MED, LOCAL_PREF, ATOMIC_AGGREGATE, AGGREGATOR, COMMUNITIES);
+* :mod:`repro.bgp.errors` — the NOTIFICATION error taxonomy;
+* :mod:`repro.bgp.fsm` — the session finite-state machine;
+* :mod:`repro.bgp.rib` — Adj-RIB-In, Loc-RIB, and Adj-RIB-Out;
+* :mod:`repro.bgp.decision` — the best-path decision process;
+* :mod:`repro.bgp.policy` — import/export policy engine;
+* :mod:`repro.bgp.speaker` — a complete BGP speaker tying it together.
+"""
+
+from repro.bgp.attributes import (
+    Aggregator,
+    AsPath,
+    AsPathSegment,
+    Origin,
+    PathAttributes,
+    SegmentType,
+)
+from repro.bgp.errors import BgpError, NotificationData
+from repro.bgp.messages import (
+    BgpMessage,
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    Route,
+    UpdateMessage,
+    decode_message,
+    iter_messages,
+)
+from repro.bgp.speaker import BgpSpeaker, PeerConfig, SpeakerConfig
+
+__all__ = [
+    "Aggregator",
+    "AsPath",
+    "AsPathSegment",
+    "BgpError",
+    "BgpMessage",
+    "BgpSpeaker",
+    "KeepaliveMessage",
+    "NotificationData",
+    "NotificationMessage",
+    "OpenMessage",
+    "Origin",
+    "PathAttributes",
+    "PeerConfig",
+    "Route",
+    "SegmentType",
+    "SpeakerConfig",
+    "UpdateMessage",
+    "decode_message",
+    "iter_messages",
+]

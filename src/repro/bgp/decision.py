@@ -1,0 +1,95 @@
+"""The BGP decision process (RFC 4271 §9.1).
+
+Given the candidate routes for a prefix from all Adj-RIBs-In (after
+import policy), pick the most preferred. The tie-breaking chain is the
+one most vendors implement, as the paper notes: LOCAL_PREF, then AS-path
+length, then origin, then MED, then eBGP over iBGP, then lowest BGP
+identifier, then lowest peer address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.attributes import PathAttributes
+from repro.net.addr import IPv4Address
+
+
+@dataclass(frozen=True, slots=True)
+class PeerInfo:
+    """What the decision process needs to know about a route's source."""
+
+    peer_id: str
+    asn: int
+    address: IPv4Address
+    bgp_identifier: IPv4Address
+    is_ebgp: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class Candidate:
+    """One candidate route for a prefix."""
+
+    attributes: PathAttributes
+    peer: PeerInfo
+
+
+def preference_key(candidate: Candidate):
+    """The MED-free part of the preference order as a sort key (smallest
+    = most preferred). MED cannot be folded into a total-order key —
+    it only applies between routes from the same neighbouring AS, which
+    is exactly the famous non-transitivity of BGP preference — so full
+    comparisons go through :meth:`DecisionProcess.prefer`.
+    """
+    attrs = candidate.attributes
+    return (
+        -attrs.effective_local_pref(),
+        attrs.as_path.length(),
+        int(attrs.origin),
+        0 if candidate.peer.is_ebgp else 1,
+        candidate.peer.bgp_identifier.value,
+        candidate.peer.address.value,
+    )
+
+
+class DecisionProcess:
+    """Phase-2 route selection over a set of candidates.
+
+    ``comparisons`` counts pairwise preference evaluations — the work
+    metric the simulated CPU cost model charges for.
+    """
+
+    def __init__(self, compare_med_always: bool = False):
+        self.compare_med_always = compare_med_always
+        self.comparisons = 0
+
+    def prefer(self, a: Candidate, b: Candidate) -> Candidate:
+        """Return the more preferred of two candidates, applying the
+        RFC 4271 §9.1.2.2 criteria in sequence."""
+        self.comparisons += 1
+        attrs_a, attrs_b = a.attributes, b.attributes
+        if attrs_a.effective_local_pref() != attrs_b.effective_local_pref():
+            return a if attrs_a.effective_local_pref() > attrs_b.effective_local_pref() else b
+        if attrs_a.as_path.length() != attrs_b.as_path.length():
+            return a if attrs_a.as_path.length() < attrs_b.as_path.length() else b
+        if attrs_a.origin != attrs_b.origin:
+            return a if attrs_a.origin < attrs_b.origin else b
+        same_neighbor_as = attrs_a.as_path.first_as() == attrs_b.as_path.first_as()
+        if (self.compare_med_always or same_neighbor_as) and (
+            attrs_a.effective_med() != attrs_b.effective_med()
+        ):
+            return a if attrs_a.effective_med() < attrs_b.effective_med() else b
+        if a.peer.is_ebgp != b.peer.is_ebgp:
+            return a if a.peer.is_ebgp else b
+        if a.peer.bgp_identifier != b.peer.bgp_identifier:
+            return a if a.peer.bgp_identifier < b.peer.bgp_identifier else b
+        return a if a.peer.address <= b.peer.address else b
+
+    def select(self, candidates: "list[Candidate]") -> Candidate | None:
+        """Select the best route; ``None`` when there are no candidates."""
+        best: Candidate | None = None
+        for candidate in candidates:
+            if candidate.attributes.next_hop is None:
+                continue  # unresolvable routes are ineligible (§9.1.2.1)
+            best = candidate if best is None else self.prefer(best, candidate)
+        return best

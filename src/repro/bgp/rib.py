@@ -1,0 +1,170 @@
+"""Routing Information Bases (RFC 4271 §3.2).
+
+Three structures, exactly as the paper describes them:
+
+* :class:`AdjRibIn` — unprocessed routes learned from one neighbour;
+* :class:`LocRib` — the routes selected by the local decision process;
+* :class:`AdjRibOut` — the per-neighbour view to be advertised.
+
+Every mutation returns an explicit :class:`RouteChange` so the caller
+(the speaker, and through it the benchmark's cost model) knows whether
+the forwarding table must change — the distinction on which benchmark
+scenarios 5/6 versus 7/8 turn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterator
+
+from repro.bgp.attributes import PathAttributes
+from repro.net.addr import Prefix
+
+
+class RouteChange(Enum):
+    """What a RIB mutation did."""
+
+    ADDED = auto()      # new prefix installed
+    REPLACED = auto()   # existing prefix now has different attributes/source
+    UNCHANGED = auto()  # announcement identical to what is installed
+    REMOVED = auto()    # prefix withdrawn
+    ABSENT = auto()     # withdrawal for a prefix we never had
+
+
+@dataclass(frozen=True, slots=True)
+class RibRoute:
+    """A route as stored in the Loc-RIB: attributes plus learned-from peer."""
+
+    prefix: Prefix
+    attributes: PathAttributes
+    peer_id: str
+
+
+class AdjRibIn:
+    """Routes advertised to us by one neighbour, pre-policy."""
+
+    def __init__(self, peer_id: str):
+        self.peer_id = peer_id
+        self._routes: dict[Prefix, PathAttributes] = {}
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._routes
+
+    def get(self, prefix: Prefix) -> PathAttributes | None:
+        return self._routes.get(prefix)
+
+    def update(self, prefix: Prefix, attributes: PathAttributes) -> RouteChange:
+        """Install or replace the neighbour's route for *prefix*.
+
+        An implicit withdraw (RFC 4271 §3.1): a new announcement for a
+        prefix replaces the previous one from the same neighbour.
+        """
+        existing = self._routes.get(prefix)
+        if existing == attributes:
+            return RouteChange.UNCHANGED
+        self._routes[prefix] = attributes
+        return RouteChange.ADDED if existing is None else RouteChange.REPLACED
+
+    def withdraw(self, prefix: Prefix) -> RouteChange:
+        if self._routes.pop(prefix, None) is None:
+            return RouteChange.ABSENT
+        return RouteChange.REMOVED
+
+    def clear(self) -> int:
+        """Drop all routes (session teardown); returns how many were dropped."""
+        count = len(self._routes)
+        self._routes.clear()
+        return count
+
+    def prefixes(self) -> Iterator[Prefix]:
+        return iter(self._routes)
+
+    def items(self) -> Iterator[tuple[Prefix, PathAttributes]]:
+        return iter(self._routes.items())
+
+
+class LocRib:
+    """The locally selected best routes."""
+
+    def __init__(self) -> None:
+        self._routes: dict[Prefix, RibRoute] = {}
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._routes
+
+    def get(self, prefix: Prefix) -> RibRoute | None:
+        return self._routes.get(prefix)
+
+    def set_best(self, route: RibRoute) -> RouteChange:
+        existing = self._routes.get(route.prefix)
+        if existing == route:
+            return RouteChange.UNCHANGED
+        self._routes[route.prefix] = route
+        return RouteChange.ADDED if existing is None else RouteChange.REPLACED
+
+    def remove(self, prefix: Prefix) -> RouteChange:
+        if self._routes.pop(prefix, None) is None:
+            return RouteChange.ABSENT
+        return RouteChange.REMOVED
+
+    def routes(self) -> Iterator[RibRoute]:
+        return iter(self._routes.values())
+
+    def prefixes(self) -> Iterator[Prefix]:
+        return iter(self._routes)
+
+
+class AdjRibOut:
+    """The subset of the Loc-RIB advertised to one neighbour.
+
+    :meth:`stage` records the desired state; :meth:`take_pending`
+    extracts the delta (announcements and withdrawals) accumulated since
+    the last call, which the speaker packs into UPDATE messages. This
+    mirrors how real implementations batch output.
+    """
+
+    def __init__(self, peer_id: str):
+        self.peer_id = peer_id
+        self._advertised: dict[Prefix, PathAttributes] = {}
+        self._pending_announce: dict[Prefix, PathAttributes] = {}
+        self._pending_withdraw: set[Prefix] = set()
+
+    def __len__(self) -> int:
+        return len(self._advertised)
+
+    def advertised(self, prefix: Prefix) -> PathAttributes | None:
+        return self._advertised.get(prefix)
+
+    def stage(self, prefix: Prefix, attributes: PathAttributes) -> RouteChange:
+        existing = self._advertised.get(prefix)
+        if existing == attributes and prefix not in self._pending_withdraw:
+            return RouteChange.UNCHANGED
+        self._advertised[prefix] = attributes
+        self._pending_announce[prefix] = attributes
+        self._pending_withdraw.discard(prefix)
+        return RouteChange.ADDED if existing is None else RouteChange.REPLACED
+
+    def stage_withdraw(self, prefix: Prefix) -> RouteChange:
+        if self._advertised.pop(prefix, None) is None:
+            self._pending_announce.pop(prefix, None)
+            return RouteChange.ABSENT
+        self._pending_announce.pop(prefix, None)
+        self._pending_withdraw.add(prefix)
+        return RouteChange.REMOVED
+
+    def has_pending(self) -> bool:
+        return bool(self._pending_announce or self._pending_withdraw)
+
+    def take_pending(self) -> tuple[dict[Prefix, PathAttributes], set[Prefix]]:
+        """Return and clear (announcements, withdrawals) staged so far."""
+        announce, withdraw = self._pending_announce, self._pending_withdraw
+        self._pending_announce = {}
+        self._pending_withdraw = set()
+        return announce, withdraw

@@ -1,0 +1,34 @@
+"""Experiment runners: one per table/figure of the paper's evaluation.
+
+* :mod:`repro.experiments.table3` — Table III, transactions/s for all 8
+  scenarios × 4 systems without cross-traffic;
+* :mod:`repro.experiments.fig3` — Figure 3, per-XORP-process CPU load
+  over time during Scenario 6 on the three XORP platforms;
+* :mod:`repro.experiments.fig4` — Figure 4, Pentium III CPU load with
+  small (Scenario 1) versus large (Scenario 2) packets;
+* :mod:`repro.experiments.fig5` — Figure 5, transactions/s versus
+  cross-traffic for all scenarios and systems;
+* :mod:`repro.experiments.fig6` — Figure 6, Pentium III CPU breakdown
+  (interrupt/system/user) and forwarding rate during Scenario 8 with
+  and without 300 Mb/s of cross-traffic;
+* :mod:`repro.experiments.runner` — the ``bgpbench`` command line.
+
+Paper-reported values are recorded in :mod:`repro.experiments.paperdata`
+so every runner can print measured-versus-paper side by side.
+"""
+
+from repro.experiments.paperdata import PAPER_TABLE3
+from repro.experiments.table3 import run_table3
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+
+__all__ = [
+    "PAPER_TABLE3",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_table3",
+]

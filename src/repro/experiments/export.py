@@ -1,0 +1,129 @@
+"""Serialise experiment results to JSON for downstream analysis.
+
+Each experiment result converts to plain dicts/lists so the regenerated
+tables and series can be archived, diffed between runs, or plotted with
+external tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.fig3 import Fig3Result
+from repro.experiments.fig4 import Fig4Result
+from repro.experiments.fig5 import Fig5Result
+from repro.experiments.fig6 import Fig6Result
+from repro.experiments.paperdata import PAPER_TABLE3
+from repro.experiments.table3 import Table3Result
+
+
+def table3_to_dict(result: Table3Result) -> dict[str, Any]:
+    return {
+        "experiment": "table3",
+        "table_size": result.table_size,
+        "measured": {
+            platform: {str(s): tps for s, tps in row.items()}
+            for platform, row in result.measured.items()
+        },
+        "paper": {
+            platform: {str(s): tps for s, tps in row.items()}
+            for platform, row in PAPER_TABLE3.items()
+        },
+        "checks": result.checks(),
+    }
+
+
+def _series_to_lists(series: "dict[str, list[tuple[float, float]]]"):
+    return {name: [[t, v] for t, v in points] for name, points in series.items()}
+
+
+def fig3_to_dict(result: Fig3Result) -> dict[str, Any]:
+    return {
+        "experiment": "fig3",
+        "table_size": result.table_size,
+        "scenario": result.scenario,
+        "total_time": result.total_time,
+        "series": {
+            platform: _series_to_lists(processes)
+            for platform, processes in result.series.items()
+        },
+        "phases": {
+            platform: [
+                {"phase": p.phase, "start": p.start, "end": p.end}
+                for p in phases
+            ]
+            for platform, phases in result.phases.items()
+        },
+    }
+
+
+def fig4_to_dict(result: Fig4Result) -> dict[str, Any]:
+    return {
+        "experiment": "fig4",
+        "table_size": result.table_size,
+        "duration": {str(s): d for s, d in result.duration.items()},
+        "tps": {str(s): v for s, v in result.tps.items()},
+        "series": {
+            str(scenario): _series_to_lists(processes)
+            for scenario, processes in result.series.items()
+        },
+    }
+
+
+def fig5_to_dict(result: Fig5Result) -> dict[str, Any]:
+    return {
+        "experiment": "fig5",
+        "table_size": result.table_size,
+        "points": result.points,
+        "series": {
+            str(scenario): {
+                platform: [[mbps, tps] for mbps, tps in curve]
+                for platform, curve in per_platform.items()
+            }
+            for scenario, per_platform in result.series.items()
+        },
+    }
+
+
+def fig6_to_dict(result: Fig6Result) -> dict[str, Any]:
+    return {
+        "experiment": "fig6",
+        "table_size": result.table_size,
+        "cross_mbps": result.cross_mbps,
+        "duration": result.duration,
+        "cpu": {
+            label: _series_to_lists(categories)
+            for label, categories in result.cpu.items()
+        },
+        "forwarding": [[t, v] for t, v in result.forwarding],
+        "interrupt_share": result.interrupt_share_during_run(),
+        "min_forwarding_phase3": result.min_forwarding_in_phase3(),
+    }
+
+
+_CONVERTERS = {
+    Table3Result: table3_to_dict,
+    Fig3Result: fig3_to_dict,
+    Fig4Result: fig4_to_dict,
+    Fig5Result: fig5_to_dict,
+    Fig6Result: fig6_to_dict,
+}
+
+
+def to_dict(result: Any) -> dict[str, Any]:
+    """Convert any experiment result to a JSON-ready dict."""
+    try:
+        converter = _CONVERTERS[type(result)]
+    except KeyError:
+        raise TypeError(f"no converter for {type(result).__name__}") from None
+    return converter(result)
+
+
+def save_json(result: Any, path: "str | Path") -> Path:
+    """Write *result* as JSON to *path*; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_dict(result), indent=2, sort_keys=True))
+    return path

@@ -1,0 +1,40 @@
+"""Values the paper reports, for measured-versus-paper comparison.
+
+Transcribed from Table III ("BGP performance without cross-traffic in
+transactions per second") and §V.B (maximum forwarding rates).
+"""
+
+from __future__ import annotations
+
+#: Table III: {platform: {scenario: transactions per second}}.
+PAPER_TABLE3: dict[str, dict[int, float]] = {
+    "pentium3": {1: 185.2, 2: 312.5, 3: 204.1, 4: 344.8,
+                 5: 1111.1, 6: 3636.4, 7: 116.6, 8: 118.7},
+    "xeon": {1: 2105.3, 2: 2247.2, 3: 2898.6, 4: 1941.7,
+             5: 3389.8, 6: 10000.0, 7: 784.3, 8: 673.4},
+    "ixp2400": {1: 24.1, 2: 36.4, 3: 26.7, 4: 43.5,
+                5: 85.7, 6: 230.8, 7: 11.6, 8: 14.9},
+    "cisco": {1: 10.7, 2: 2492.9, 3: 10.4, 4: 2927.5,
+              5: 10.9, 6: 3332.3, 7: 10.7, 8: 2445.2},
+}
+
+#: §V.B: maximum forwardable cross-traffic per platform (Mb/s).
+PAPER_MAX_FORWARDING_MBPS: dict[str, float] = {
+    "pentium3": 315.0,   # PCI bus limitations
+    "xeon": 784.0,       # PCI Express bus limitations
+    "ixp2400": 940.0,    # network interconnect limitations
+    "cisco": 78.0,       # 100 Mb/s router ports
+}
+
+#: Figure 6(b): interrupt processing consumes 20-30% of the Pentium III
+#: CPU at 300 Mb/s of cross-traffic.
+PAPER_P3_INTERRUPT_SHARE_AT_300MBPS = (0.20, 0.30)
+
+PLATFORM_ORDER = ("pentium3", "xeon", "ixp2400", "cisco")
+
+PLATFORM_LABELS = {
+    "pentium3": "Pentium III",
+    "xeon": "Xeon",
+    "ixp2400": "IXP2400",
+    "cisco": "Cisco",
+}

@@ -1,0 +1,218 @@
+"""The ``bgpbench`` command line: regenerate any table or figure.
+
+::
+
+    bgpbench table3 [--table-size N] [--output-dir DIR]
+    bgpbench fig3 | fig4 | fig5 | fig6
+    bgpbench all
+    bgpbench scenario --platform xeon --scenario 6 [--cross-traffic 300]
+    bgpbench repeatability --platform pentium3 --scenario 1 --seeds 1 2 3
+    bgpbench stability --platform pentium3 --rate 1500
+
+``--output-dir`` writes the experiment's result as JSON next to the
+text rendering.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.benchmark import run_scenario
+from repro.benchmark.statistics import repeatability_study
+from repro.experiments import fig3, fig4, fig5, fig6, table3
+from repro.experiments.export import save_json
+from repro.systems import build_system
+from repro.systems.platforms import PLATFORMS
+
+#: command -> (runner(table_size) -> result, render(result) -> str,
+#:             default table size)
+_EXPERIMENTS = {
+    "table3": (lambda size: table3.run_table3(table_size=size), table3.render, 2000),
+    "fig3": (lambda size: fig3.run_fig3(table_size=size), fig3.render, 2000),
+    "fig4": (lambda size: fig4.run_fig4(table_size=size), fig4.render, 2000),
+    "fig5": (lambda size: fig5.run_fig5(table_size=size), fig5.render, 1500),
+    "fig6": (lambda size: fig6.run_fig6(table_size=size), fig6.render, 2000),
+}
+
+
+def _add_common(parser: argparse.ArgumentParser, default_size: int) -> None:
+    parser.add_argument(
+        "--table-size",
+        type=int,
+        default=default_size,
+        help="synthetic routing-table size (prefixes)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="workload PRNG seed")
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="also write the result as JSON into this directory",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bgpbench",
+        description="Reproduce the experiments of 'Benchmarking BGP Routers' (IISWC 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    help_text = {
+        "table3": "Table III: 8 scenarios x 4 systems",
+        "fig3": "Figure 3: XORP process activity",
+        "fig4": "Figure 4: small vs large packets",
+        "fig5": "Figure 5: cross-traffic sweep",
+        "fig6": "Figure 6: CPU breakdown + forwarding",
+    }
+    for command, (_run, _render, default_size) in _EXPERIMENTS.items():
+        _add_common(sub.add_parser(command, help=help_text[command]), default_size)
+    _add_common(sub.add_parser("all", help="run every experiment"), 1500)
+
+    single = sub.add_parser("scenario", help="run one scenario on one platform")
+    _add_common(single, 2000)
+    single.add_argument("--platform", choices=sorted(PLATFORMS), required=True)
+    single.add_argument("--scenario", type=int, choices=range(1, 9), required=True)
+    single.add_argument("--cross-traffic", type=float, default=0.0, help="Mb/s")
+
+    repeat = sub.add_parser(
+        "repeatability", help="dispersion of the metric across workload seeds"
+    )
+    _add_common(repeat, 1000)
+    repeat.add_argument("--platform", choices=sorted(PLATFORMS), required=True)
+    repeat.add_argument("--scenario", type=int, choices=range(1, 9), required=True)
+    repeat.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3, 4, 5])
+
+    stability = sub.add_parser(
+        "stability", help="keepalive survival under a sustained update storm"
+    )
+    _add_common(stability, 500)
+    stability.add_argument("--platform", choices=sorted(PLATFORMS), required=True)
+    stability.add_argument("--rate", type=float, default=1500.0, help="updates/s")
+    stability.add_argument("--duration", type=float, default=30.0, help="seconds")
+    stability.add_argument("--hold-time", type=float, default=15.0)
+
+    sub.add_parser("scenarios", help="list the Table I scenario definitions")
+
+    chain = sub.add_parser(
+        "chain", help="table propagation through a chain of routers"
+    )
+    _add_common(chain, 500)
+    chain.add_argument(
+        "--platforms", nargs="+", choices=sorted(PLATFORMS), required=True,
+        help="one router per entry, head to tail",
+    )
+    chain.add_argument("--packing", type=int, default=500,
+                       help="prefixes per UPDATE (1 = small packets)")
+    chain.add_argument("--link-delay", type=float, default=0.001, help="seconds")
+    return parser
+
+
+def _run_experiment(command: str, table_size: int, output_dir: "Path | None") -> None:
+    run, render, _default = _EXPERIMENTS[command]
+    result = run(table_size)
+    print(render(result))
+    if output_dir is not None:
+        path = save_json(result, output_dir / f"{command}.json")
+        print(f"\n[written {path}]")
+
+
+def _run_stability(args) -> None:
+    from repro.benchmark.harness import SPEAKER1, SPEAKER1_ADDR, SPEAKER1_ASN
+    from repro.benchmark.stability import KeepaliveProbe, offer_at_rate
+    from repro.bgp.policy import ACCEPT_ALL
+    from repro.bgp.speaker import PeerConfig
+    from repro.workload.tablegen import generate_table
+    from repro.workload.updates import UpdateStreamBuilder
+
+    router = build_system(args.platform)
+    router.add_peer(
+        PeerConfig(SPEAKER1, SPEAKER1_ASN, SPEAKER1_ADDR, ACCEPT_ALL, ACCEPT_ALL)
+    )
+    router.handshake(SPEAKER1, SPEAKER1_ASN, SPEAKER1_ADDR)
+    probe = KeepaliveProbe(
+        router,
+        interval=args.hold_time / 3.0,
+        hold_time=args.hold_time,
+        horizon=args.duration,
+    )
+    builder = UpdateStreamBuilder(SPEAKER1_ASN, SPEAKER1_ADDR)
+    table = generate_table(args.table_size, seed=args.seed)
+    total = int(args.rate * args.duration)
+    rounds = max(2, (total + len(table) - 1) // len(table))
+    packets = builder.flap_storm(table, rounds=rounds, prefixes_per_update=1)[:total]
+    offer_at_rate(router, SPEAKER1, packets, args.rate)
+    router.run_until_idle()
+    report = probe.stop()
+    verdict = "session holds" if report.session_survives else "SESSION FLAPS"
+    print(
+        f"{args.platform}: offered {args.rate:.0f} updates/s for "
+        f"{args.duration:.0f}s, hold time {args.hold_time:.0f}s"
+    )
+    print(f"worst keepalive gap: {report.max_gap:.1f}s -> {verdict}")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command in _EXPERIMENTS:
+        _run_experiment(args.command, args.table_size, args.output_dir)
+    elif args.command == "all":
+        for command in _EXPERIMENTS:
+            _run_experiment(command, args.table_size, args.output_dir)
+            print()
+    elif args.command == "scenario":
+        result = run_scenario(
+            build_system(args.platform),
+            args.scenario,
+            table_size=args.table_size,
+            cross_traffic_mbps=args.cross_traffic,
+            seed=args.seed,
+        )
+        print(
+            f"{args.platform} scenario {args.scenario}: "
+            f"{result.transactions_per_second:.1f} transactions/s "
+            f"({result.transactions} transactions in {result.duration:.2f} virtual s, "
+            f"cross-traffic {result.cross_traffic_mbps:.0f} Mb/s)"
+        )
+    elif args.command == "repeatability":
+        study = repeatability_study(
+            args.platform, args.scenario, seeds=args.seeds, table_size=args.table_size
+        )
+        samples = "  ".join(f"{s:.1f}" for s in study.samples)
+        print(f"{args.platform} scenario {args.scenario}, seeds {args.seeds}:")
+        print(f"samples: {samples}")
+        print(
+            f"mean {study.stats.mean:.1f} tps, stdev {study.stats.stdev:.2f}, "
+            f"CV {100 * study.stats.coefficient_of_variation:.2f}% -> "
+            f"{'repeatable' if study.is_repeatable() else 'NOT repeatable'}"
+        )
+    elif args.command == "stability":
+        _run_stability(args)
+    elif args.command == "scenarios":
+        from repro.benchmark.scenarios import render_table1
+
+        print(render_table1())
+    elif args.command == "chain":
+        from repro.benchmark.chain import run_chain_propagation
+
+        result = run_chain_propagation(
+            args.platforms,
+            table_size=args.table_size,
+            prefixes_per_update=args.packing,
+            link_delay=args.link_delay,
+            seed=args.seed,
+        )
+        print(f"chain {' -> '.join(args.platforms)}: {args.table_size} prefixes, "
+              f"{args.packing}/UPDATE")
+        for platform, when, delay in zip(
+            args.platforms, result.fib_complete_at, result.per_hop_delays()
+        ):
+            print(f"  {platform:9s} complete at {when:8.2f}s  (+{delay:.2f}s)")
+        print(f"end-to-end convergence: {result.end_to_end:.2f} virtual seconds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,194 @@
+"""Packet classification (paper ref. [10], Gupta & McKeown).
+
+The paper's related work notes the trend "towards classifying packets
+by more than just their destination address". This module provides a
+five-tuple flow classifier with two interchangeable engines:
+
+* :class:`LinearClassifier` — priority-ordered linear search, the
+  correctness reference;
+* :class:`TupleSpaceClassifier` — tuple-space search (Srinivasan et
+  al.): rules are bucketed by their *specification tuple* (source
+  prefix length, destination prefix length, protocol/port wildcards),
+  one hash probe per tuple in use.
+
+Ports and protocol match exactly or wildcard; addresses match by
+prefix. Highest priority wins; ties break toward the earliest-added
+rule (deterministic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.net.addr import IPv4Address, Prefix
+from repro.net.packet import IPv4Packet
+
+
+@dataclass(frozen=True, slots=True)
+class FlowKey:
+    """The five-tuple extracted from a packet."""
+
+    source: IPv4Address
+    destination: IPv4Address
+    protocol: int
+    source_port: int = 0
+    destination_port: int = 0
+
+    @classmethod
+    def from_packet(cls, packet: IPv4Packet) -> "FlowKey":
+        """Extract the key; TCP/UDP ports are read from the first four
+        payload bytes when present (the forwarding fast path's view)."""
+        sport = dport = 0
+        if packet.protocol in (6, 17) and len(packet.payload) >= 4:
+            sport = int.from_bytes(packet.payload[0:2], "big")
+            dport = int.from_bytes(packet.payload[2:4], "big")
+        return cls(packet.source, packet.destination, packet.protocol, sport, dport)
+
+
+@dataclass(frozen=True, slots=True)
+class FlowRule:
+    """One classification rule. ``None`` fields are wildcards."""
+
+    name: str
+    priority: int
+    source: Prefix | None = None
+    destination: Prefix | None = None
+    protocol: int | None = None
+    source_port: int | None = None
+    destination_port: int | None = None
+
+    def matches(self, key: FlowKey) -> bool:
+        if self.source is not None and not self.source.contains(key.source):
+            return False
+        if self.destination is not None and not self.destination.contains(key.destination):
+            return False
+        if self.protocol is not None and self.protocol != key.protocol:
+            return False
+        if self.source_port is not None and self.source_port != key.source_port:
+            return False
+        if self.destination_port is not None and self.destination_port != key.destination_port:
+            return False
+        return True
+
+    def specification(self) -> tuple[int, int, bool, bool, bool]:
+        """The tuple-space coordinates of this rule."""
+        return (
+            self.source.length if self.source is not None else -1,
+            self.destination.length if self.destination is not None else -1,
+            self.protocol is not None,
+            self.source_port is not None,
+            self.destination_port is not None,
+        )
+
+
+class LinearClassifier:
+    """Priority-ordered linear search — the reference engine."""
+
+    def __init__(self) -> None:
+        self._rules: list[tuple[int, int, FlowRule]] = []  # (-prio, seq, rule)
+        self._sequence = 0
+
+    def add_rule(self, rule: FlowRule) -> None:
+        self._rules.append((-rule.priority, self._sequence, rule))
+        self._sequence += 1
+        self._rules.sort()
+
+    def remove_rule(self, name: str) -> bool:
+        before = len(self._rules)
+        self._rules = [entry for entry in self._rules if entry[2].name != name]
+        return len(self._rules) < before
+
+    def classify(self, key: FlowKey) -> FlowRule | None:
+        for _neg_priority, _seq, rule in self._rules:
+            if rule.matches(key):
+                return rule
+        return None
+
+    def rules(self) -> Iterator[FlowRule]:
+        return (rule for _p, _s, rule in self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+
+def _mask_value(address: IPv4Address, length: int) -> int:
+    if length <= 0:
+        return 0
+    return address.value & ((0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF)
+
+
+class TupleSpaceClassifier:
+    """Tuple-space search: one hash probe per specification tuple."""
+
+    def __init__(self) -> None:
+        # spec -> {hash_key: [(neg_priority, seq, rule), ...]}
+        self._spaces: dict[tuple, dict[tuple, list]] = {}
+        self._sequence = 0
+        self.probes = 0
+
+    def _hash_key(self, spec: tuple, key: FlowKey) -> tuple:
+        src_len, dst_len, has_proto, has_sport, has_dport = spec
+        return (
+            _mask_value(key.source, src_len) if src_len >= 0 else None,
+            _mask_value(key.destination, dst_len) if dst_len >= 0 else None,
+            key.protocol if has_proto else None,
+            key.source_port if has_sport else None,
+            key.destination_port if has_dport else None,
+        )
+
+    def _rule_key(self, rule: FlowRule) -> tuple:
+        return (
+            rule.source.network if rule.source is not None else None,
+            rule.destination.network if rule.destination is not None else None,
+            rule.protocol,
+            rule.source_port,
+            rule.destination_port,
+        )
+
+    def add_rule(self, rule: FlowRule) -> None:
+        space = self._spaces.setdefault(rule.specification(), {})
+        bucket = space.setdefault(self._rule_key(rule), [])
+        bucket.append((-rule.priority, self._sequence, rule))
+        bucket.sort()
+        self._sequence += 1
+
+    def remove_rule(self, name: str) -> bool:
+        removed = False
+        for spec, space in list(self._spaces.items()):
+            for hash_key, bucket in list(space.items()):
+                kept = [entry for entry in bucket if entry[2].name != name]
+                if len(kept) < len(bucket):
+                    removed = True
+                    if kept:
+                        space[hash_key] = kept
+                    else:
+                        del space[hash_key]
+            if not space:
+                del self._spaces[spec]
+        return removed
+
+    def classify(self, key: FlowKey) -> FlowRule | None:
+        best: "tuple[int, int, FlowRule] | None" = None
+        for spec, space in self._spaces.items():
+            self.probes += 1
+            bucket = space.get(self._hash_key(spec, key))
+            if bucket and (best is None or bucket[0] < best):
+                best = bucket[0]
+        return best[2] if best is not None else None
+
+    def rules(self) -> Iterator[FlowRule]:
+        for space in self._spaces.values():
+            for bucket in space.values():
+                for _p, _s, rule in bucket:
+                    yield rule
+
+    def __len__(self) -> int:
+        return sum(
+            len(bucket) for space in self._spaces.values() for bucket in space.values()
+        )
+
+    @property
+    def tuple_count(self) -> int:
+        """Distinct specification tuples — the probe count per lookup."""
+        return len(self._spaces)

@@ -1,0 +1,188 @@
+"""OSPF: link-state flooding and shortest-path-first computation.
+
+A deliberately compact model of OSPFv2's core (RFC 2328): router LSAs
+with sequence numbers, a link-state database synchronised by flooding,
+and Dijkstra over the LSDB producing a next-hop routing table. Areas,
+DR election, and the packet formats are out of scope — the paper uses
+OSPF only as the complexity baseline for BGP.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.igp.topology import Topology
+
+
+@dataclass(frozen=True, slots=True)
+class RouterLsa:
+    """One router's view of its attached links."""
+
+    origin: str
+    sequence: int
+    links: tuple[tuple[str, float], ...]  # (neighbor, cost), sorted
+
+
+class LinkStateDatabase:
+    """The LSDB: newest LSA per originating router."""
+
+    def __init__(self) -> None:
+        self._lsas: dict[str, RouterLsa] = {}
+
+    def install(self, lsa: RouterLsa) -> bool:
+        """Install if newer than what we hold; returns True when the
+        database changed (i.e. the LSA should be flooded onward)."""
+        current = self._lsas.get(lsa.origin)
+        if current is not None and current.sequence >= lsa.sequence:
+            return False
+        self._lsas[lsa.origin] = lsa
+        return True
+
+    def get(self, origin: str) -> RouterLsa | None:
+        return self._lsas.get(origin)
+
+    def lsas(self) -> list[RouterLsa]:
+        return [self._lsas[origin] for origin in sorted(self._lsas)]
+
+    def __len__(self) -> int:
+        return len(self._lsas)
+
+    def graph(self) -> dict[str, list[tuple[str, float]]]:
+        """Adjacency from the LSDB. A link is usable only if *both*
+        endpoints advertise it (RFC 2328 §16.1's bidirectional check)."""
+        adjacency: dict[str, list[tuple[str, float]]] = {}
+        for lsa in self._lsas.values():
+            for neighbor, cost in lsa.links:
+                other = self._lsas.get(neighbor)
+                if other is None:
+                    continue
+                if not any(back == lsa.origin for back, _c in other.links):
+                    continue
+                adjacency.setdefault(lsa.origin, []).append((neighbor, cost))
+        return adjacency
+
+
+def shortest_paths(
+    adjacency: dict[str, list[tuple[str, float]]], source: str
+) -> dict[str, tuple[float, str]]:
+    """Dijkstra: destination → (cost, first hop from *source*).
+
+    Ties are broken deterministically by preferring the lexicographically
+    smaller first hop.
+    """
+    distances: dict[str, float] = {source: 0.0}
+    first_hop: dict[str, str] = {}
+    visited: set[str] = set()
+    # (cost, tie-break hop, node, hop)
+    heap: list[tuple[float, str, str, str]] = [(0.0, "", source, "")]
+    while heap:
+        cost, _tie, node, hop = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if node != source:
+            first_hop[node] = hop
+        for neighbor, link_cost in adjacency.get(node, []):
+            if neighbor in visited:
+                continue
+            new_cost = cost + link_cost
+            if new_cost < distances.get(neighbor, float("inf")):
+                distances[neighbor] = new_cost
+                next_hop = neighbor if node == source else hop
+                heapq.heappush(heap, (new_cost, next_hop, neighbor, next_hop))
+    return {
+        node: (distances[node], first_hop[node])
+        for node in distances
+        if node != source
+    }
+
+
+class OspfRouter:
+    """One OSPF speaker: LSDB + SPF, fed by flooding."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.lsdb = LinkStateDatabase()
+        self._sequence = 0
+        self.routing_table: dict[str, tuple[float, str]] = {}
+        self.spf_runs = 0
+        self.lsas_processed = 0
+
+    def originate_lsa(self, topology: Topology) -> RouterLsa:
+        """Build this router's LSA from its current attached links."""
+        self._sequence += 1
+        links = tuple(topology.neighbors(self.name))
+        lsa = RouterLsa(self.name, self._sequence, links)
+        self.lsdb.install(lsa)
+        return lsa
+
+    def receive_lsa(self, lsa: RouterLsa) -> bool:
+        """Process a flooded LSA; True means it was new (flood onward)."""
+        self.lsas_processed += 1
+        return self.lsdb.install(lsa)
+
+    def run_spf(self) -> dict[str, tuple[float, str]]:
+        """Recompute the routing table from the LSDB."""
+        self.spf_runs += 1
+        self.routing_table = shortest_paths(self.lsdb.graph(), self.name)
+        return self.routing_table
+
+    def next_hop(self, destination: str) -> str | None:
+        entry = self.routing_table.get(destination)
+        return entry[1] if entry is not None else None
+
+    def cost_to(self, destination: str) -> float | None:
+        entry = self.routing_table.get(destination)
+        return entry[0] if entry is not None else None
+
+
+class OspfNetwork:
+    """An OSPF domain over a topology: flooding plus SPF everywhere.
+
+    Flooding is modeled faithfully at the LSDB level (duplicate
+    suppression via sequence numbers; forwarding only on change) without
+    per-packet timing — the benchmark cares about processing operation
+    counts, not wire latency.
+    """
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self.routers = {name: OspfRouter(name) for name in topology.routers()}
+        self.floods = 0
+
+    def flood(self, lsa: RouterLsa, from_router: str) -> None:
+        """Breadth-first flood along current links."""
+        frontier = [from_router]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for neighbor, _cost in self.topology.neighbors(node):
+                    self.floods += 1
+                    if self.routers[neighbor].receive_lsa(lsa):
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+
+    def announce_all(self) -> None:
+        """Every router originates and floods its LSA, then runs SPF —
+        cold start of the domain."""
+        for name in sorted(self.routers):
+            lsa = self.routers[name].originate_lsa(self.topology)
+            self.flood(lsa, name)
+        self.run_spf_everywhere()
+
+    def link_event(self, a: str, b: str) -> None:
+        """A link changed (up/down/cost): both endpoints re-originate."""
+        for name in (a, b):
+            lsa = self.routers[name].originate_lsa(self.topology)
+            self.flood(lsa, name)
+        self.run_spf_everywhere()
+
+    def run_spf_everywhere(self) -> None:
+        for router in self.routers.values():
+            router.run_spf()
+
+    def converged(self) -> bool:
+        """All LSDBs identical and routing tables consistent."""
+        tables = [tuple(r.lsdb.lsas()) for r in self.routers.values()]
+        return all(t == tables[0] for t in tables)

@@ -1,0 +1,139 @@
+"""RIP: distance-vector routing (RFC 1058 semantics).
+
+Routers periodically advertise their distance vectors to neighbours;
+each router keeps the lowest metric per destination, with the hop-count
+metric capped at 16 ("infinity"). Split horizon with poisoned reverse
+is implemented and switchable, so the classic count-to-infinity
+behaviour can be demonstrated and tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.igp.topology import Topology
+
+#: RFC 1058: metric 16 means unreachable.
+INFINITY_METRIC = 16
+
+
+@dataclass(slots=True)
+class RipEntry:
+    metric: int
+    next_hop: str
+
+
+class RipRouter:
+    """One RIP speaker."""
+
+    def __init__(self, name: str, split_horizon: bool = True, poisoned_reverse: bool = True):
+        self.name = name
+        self.split_horizon = split_horizon
+        self.poisoned_reverse = poisoned_reverse
+        self.table: dict[str, RipEntry] = {name: RipEntry(0, name)}
+        self.updates_processed = 0
+        self.entries_processed = 0
+
+    def advertisement_for(self, neighbor: str) -> dict[str, int]:
+        """The distance vector sent to *neighbor*, applying split
+        horizon / poisoned reverse."""
+        vector: dict[str, int] = {}
+        for destination, entry in self.table.items():
+            if self.split_horizon and entry.next_hop == neighbor and destination != self.name:
+                if self.poisoned_reverse:
+                    vector[destination] = INFINITY_METRIC
+                continue
+            vector[destination] = entry.metric
+        return vector
+
+    def process_advertisement(
+        self, neighbor: str, link_cost: int, vector: dict[str, int]
+    ) -> bool:
+        """Apply a neighbour's vector; returns True if the table changed."""
+        self.updates_processed += 1
+        changed = False
+        for destination, metric in vector.items():
+            self.entries_processed += 1
+            new_metric = min(metric + link_cost, INFINITY_METRIC)
+            entry = self.table.get(destination)
+            if entry is None:
+                if new_metric < INFINITY_METRIC:
+                    self.table[destination] = RipEntry(new_metric, neighbor)
+                    changed = True
+            elif entry.next_hop == neighbor:
+                # Updates from the current next hop are authoritative,
+                # even when worse (RFC 1058 §3.4.2).
+                if entry.metric != new_metric:
+                    entry.metric = new_metric
+                    changed = True
+            elif new_metric < entry.metric:
+                self.table[destination] = RipEntry(new_metric, neighbor)
+                changed = True
+        return changed
+
+    def route_to(self, destination: str) -> RipEntry | None:
+        entry = self.table.get(destination)
+        if entry is None or entry.metric >= INFINITY_METRIC:
+            return None
+        return entry
+
+    def expire_next_hop(self, neighbor: str) -> int:
+        """A neighbour became unreachable: poison every route via it.
+        Returns how many routes were invalidated."""
+        poisoned = 0
+        for entry in self.table.values():
+            if entry.next_hop == neighbor and entry.metric < INFINITY_METRIC:
+                entry.metric = INFINITY_METRIC
+                poisoned += 1
+        return poisoned
+
+
+class RipNetwork:
+    """A RIP domain over a topology: synchronous advertisement rounds."""
+
+    def __init__(self, topology: Topology, split_horizon: bool = True,
+                 poisoned_reverse: bool = True):
+        self.topology = topology
+        self.routers = {
+            name: RipRouter(name, split_horizon, poisoned_reverse)
+            for name in topology.routers()
+        }
+
+    def round(self) -> bool:
+        """One synchronous exchange round; True if anything changed.
+
+        Advertisements are snapshotted before applying, so the round is
+        order-independent and deterministic.
+        """
+        advertisements = []
+        for name in sorted(self.routers):
+            router = self.routers[name]
+            for neighbor, cost in self.topology.neighbors(name):
+                advertisements.append(
+                    (neighbor, name, int(cost), router.advertisement_for(neighbor))
+                )
+        changed = False
+        for receiver, sender, cost, vector in advertisements:
+            if self.routers[receiver].process_advertisement(sender, cost, vector):
+                changed = True
+        return changed
+
+    def converge(self, max_rounds: int = 100) -> int:
+        """Run rounds until quiescent; returns the number of rounds."""
+        for round_number in range(1, max_rounds + 1):
+            if not self.round():
+                return round_number
+        raise RuntimeError(f"RIP did not converge within {max_rounds} rounds")
+
+    def fail_link(self, a: str, b: str) -> None:
+        """Remove a link and poison the affected routes at the endpoints."""
+        self.topology.remove_link(a, b)
+        self.routers[a].expire_next_hop(b)
+        self.routers[b].expire_next_hop(a)
+
+
+def converge(topology: Topology, **kwargs) -> RipNetwork:
+    """Build a RIP domain over *topology* and run it to convergence."""
+    network = RipNetwork(topology, **kwargs)
+    network.converge()
+    return network

@@ -1,0 +1,117 @@
+"""A weighted undirected topology of routers and links.
+
+Shared by the OSPF and RIP implementations; mutation methods model the
+link-failure and recovery events whose processing the protocols are
+benchmarked on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class TopologyError(ValueError):
+    """Raised for invalid topology operations."""
+
+
+def _edge(a: str, b: str) -> tuple[str, str]:
+    if a == b:
+        raise TopologyError(f"self-link at {a!r}")
+    return (a, b) if a < b else (b, a)
+
+
+class Topology:
+    """Routers connected by weighted point-to-point links."""
+
+    def __init__(self) -> None:
+        self._nodes: set[str] = set()
+        self._links: dict[tuple[str, str], float] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_router(self, name: str) -> None:
+        self._nodes.add(name)
+
+    def add_link(self, a: str, b: str, cost: float = 1.0) -> None:
+        if cost <= 0:
+            raise TopologyError(f"link cost must be positive: {cost}")
+        self._nodes.add(a)
+        self._nodes.add(b)
+        self._links[_edge(a, b)] = cost
+
+    def remove_link(self, a: str, b: str) -> None:
+        if self._links.pop(_edge(a, b), None) is None:
+            raise TopologyError(f"no link {a!r}-{b!r}")
+
+    def set_cost(self, a: str, b: str, cost: float) -> None:
+        if cost <= 0:
+            raise TopologyError(f"link cost must be positive: {cost}")
+        key = _edge(a, b)
+        if key not in self._links:
+            raise TopologyError(f"no link {a!r}-{b!r}")
+        self._links[key] = cost
+
+    # -- queries ---------------------------------------------------------------
+
+    def routers(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def has_link(self, a: str, b: str) -> bool:
+        return _edge(a, b) in self._links
+
+    def cost(self, a: str, b: str) -> float:
+        try:
+            return self._links[_edge(a, b)]
+        except KeyError:
+            raise TopologyError(f"no link {a!r}-{b!r}") from None
+
+    def neighbors(self, name: str) -> list[tuple[str, float]]:
+        """Sorted (neighbor, cost) pairs of *name*."""
+        out = []
+        for (a, b), cost in self._links.items():
+            if a == name:
+                out.append((b, cost))
+            elif b == name:
+                out.append((a, cost))
+        return sorted(out)
+
+    def links(self) -> Iterator[tuple[str, str, float]]:
+        for (a, b), cost in sorted(self._links.items()):
+            yield a, b, cost
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- generators ------------------------------------------------------------------
+
+    @classmethod
+    def line(cls, n: int, cost: float = 1.0) -> "Topology":
+        """r0 - r1 - ... - r(n-1)."""
+        topology = cls()
+        for i in range(n):
+            topology.add_router(f"r{i}")
+        for i in range(n - 1):
+            topology.add_link(f"r{i}", f"r{i + 1}", cost)
+        return topology
+
+    @classmethod
+    def ring(cls, n: int, cost: float = 1.0) -> "Topology":
+        if n < 3:
+            raise TopologyError("a ring needs at least 3 routers")
+        topology = cls.line(n, cost)
+        topology.add_link(f"r{n - 1}", "r0", cost)
+        return topology
+
+    @classmethod
+    def full_mesh(cls, n: int, cost: float = 1.0) -> "Topology":
+        topology = cls()
+        names = [f"r{i}" for i in range(n)]
+        for name in names:
+            topology.add_router(name)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                topology.add_link(a, b, cost)
+        return topology

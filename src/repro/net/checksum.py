@@ -1,0 +1,51 @@
+"""The Internet checksum (RFC 1071) and its incremental update (RFC 1624).
+
+The forwarding pipeline verifies the IPv4 header checksum on receive and,
+after decrementing the TTL, recomputes it incrementally rather than over
+the whole header — the same optimisation real kernels and line cards use
+(RFC 1141 / RFC 1624 equation 3).
+"""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """One's-complement checksum over *data*, per RFC 1071.
+
+    Returns the 16-bit checksum value to be stored in the header. A
+    packet whose stored checksum is correct yields ``0`` when the
+    checksum is computed over the header *including* the checksum field.
+    """
+    total = 0
+    # Sum 16-bit big-endian words; pad a trailing odd byte with zero.
+    for i in range(0, len(data) - 1, 2):
+        total += (data[i] << 8) | data[i + 1]
+    if len(data) % 2:
+        total += data[-1] << 8
+    # Fold carries back into the low 16 bits.
+    while total > 0xFFFF:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def incremental_checksum_update(checksum: int, old_word: int, new_word: int) -> int:
+    """Update *checksum* after one 16-bit header word changed.
+
+    Implements RFC 1624 equation 3: ``HC' = ~(~HC + ~m + m')``, which is
+    safe with respect to the +0/-0 ambiguity that made the RFC 1141
+    formula incorrect in edge cases.
+
+    One residual corner is inherent to the arithmetic: when the updated
+    data sums to ±0 the result can be the other zero representation
+    (0x0000 versus 0xFFFF) than a full recompute would produce. A real
+    IPv4 header can never sum to zero (the version/IHL word is always
+    non-zero), so the forwarding path never hits it.
+    """
+    if not 0 <= checksum <= 0xFFFF:
+        raise ValueError(f"checksum out of range: {checksum:#x}")
+    if not 0 <= old_word <= 0xFFFF or not 0 <= new_word <= 0xFFFF:
+        raise ValueError("header words must be 16-bit")
+    total = (~checksum & 0xFFFF) + (~old_word & 0xFFFF) + new_word
+    while total > 0xFFFF:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF

@@ -1,0 +1,125 @@
+"""A minimal but wire-accurate IPv4 packet model.
+
+Only the fields the RFC 1812 forwarding path touches are modeled as
+first-class attributes (TTL, addresses, checksum); everything else is
+carried so that encode/decode round-trips exactly. Options are kept as
+raw bytes — the forwarding pipeline does not interpret them, matching
+the fast path of real routers.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.net.addr import IPv4Address
+from repro.net.checksum import internet_checksum
+
+_HEADER = struct.Struct("!BBHHHBBH4s4s")
+
+MIN_HEADER_LEN = 20
+
+
+class PacketError(ValueError):
+    """Raised when a packet cannot be decoded."""
+
+
+@dataclass(slots=True)
+class IPv4Packet:
+    """An IPv4 packet with a decoded header and opaque payload."""
+
+    source: IPv4Address
+    destination: IPv4Address
+    ttl: int = 64
+    protocol: int = 6
+    identification: int = 0
+    dscp: int = 0
+    flags: int = 0
+    fragment_offset: int = 0
+    options: bytes = b""
+    payload: bytes = b""
+    checksum: int | None = None
+
+    @property
+    def header_length(self) -> int:
+        return MIN_HEADER_LEN + len(self.options)
+
+    @property
+    def total_length(self) -> int:
+        return self.header_length + len(self.payload)
+
+    def header_bytes(self, checksum: int = 0) -> bytes:
+        """Encode the header with the given checksum field value."""
+        if len(self.options) % 4:
+            raise PacketError("options must be padded to a 32-bit boundary")
+        ihl = self.header_length // 4
+        if ihl > 15:
+            raise PacketError("header too long")
+        header = _HEADER.pack(
+            (4 << 4) | ihl,
+            self.dscp,
+            self.total_length,
+            self.identification,
+            (self.flags << 13) | self.fragment_offset,
+            self.ttl,
+            self.protocol,
+            checksum,
+            self.source.to_bytes(),
+            self.destination.to_bytes(),
+        )
+        return header + self.options
+
+    def encode(self) -> bytes:
+        """Serialise to wire format, computing a correct header checksum."""
+        checksum = internet_checksum(self.header_bytes(0))
+        self.checksum = checksum
+        return self.header_bytes(checksum) + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "IPv4Packet":
+        """Parse wire format. The stored checksum is kept, not verified —
+        verification is a forwarding-pipeline decision (RFC 1812 §5.2.2)."""
+        if len(data) < MIN_HEADER_LEN:
+            raise PacketError(f"truncated header: {len(data)} bytes")
+        (
+            ver_ihl,
+            dscp,
+            total_length,
+            identification,
+            flags_frag,
+            ttl,
+            protocol,
+            checksum,
+            src,
+            dst,
+        ) = _HEADER.unpack_from(data)
+        version = ver_ihl >> 4
+        if version != 4:
+            raise PacketError(f"not IPv4 (version={version})")
+        ihl = ver_ihl & 0xF
+        header_len = ihl * 4
+        if header_len < MIN_HEADER_LEN:
+            raise PacketError(f"bad IHL: {ihl}")
+        if len(data) < header_len:
+            raise PacketError("truncated options")
+        if total_length < header_len or total_length > len(data):
+            raise PacketError(f"bad total length: {total_length}")
+        return cls(
+            source=IPv4Address.from_bytes(src),
+            destination=IPv4Address.from_bytes(dst),
+            ttl=ttl,
+            protocol=protocol,
+            identification=identification,
+            dscp=dscp,
+            flags=flags_frag >> 13,
+            fragment_offset=flags_frag & 0x1FFF,
+            options=bytes(data[MIN_HEADER_LEN:header_len]),
+            payload=bytes(data[header_len:total_length]),
+            checksum=checksum,
+        )
+
+    def header_checksum_ok(self) -> bool:
+        """Verify the stored header checksum (RFC 1071 semantics)."""
+        if self.checksum is None:
+            return False
+        return internet_checksum(self.header_bytes(self.checksum)) == 0

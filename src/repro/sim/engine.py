@@ -1,0 +1,114 @@
+"""The event queue: virtual time, scheduling, cancellation.
+
+A minimal, dependency-free discrete-event core. Events fire in
+timestamp order; ties break in scheduling order, which makes runs
+deterministic — a property the benchmark's repeatability claim (paper
+§I) depends on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class Simulator:
+    """A virtual clock plus a priority queue of pending callbacks."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[_ScheduledEvent] = []
+        self._seq = 0
+        self.events_fired = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Run *callback* at ``now + delay``."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        if time < self.now:
+            raise ValueError(f"cannot schedule into the past: {time} < {self.now}")
+        event = _ScheduledEvent(time, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event, or None when empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def fire_due(self, until: float | None = None) -> int:
+        """Advance the clock, firing every event due at or before *until*
+        (or just the next event when *until* is None). Returns the number
+        fired. Callbacks may schedule further events."""
+        fired = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            event = heapq.heappop(self._queue)
+            self.now = max(self.now, event.time)
+            event.callback()
+            self.events_fired += 1
+            fired += 1
+            if until is None:
+                break
+        if until is not None:
+            self.now = max(self.now, until)
+        return fired
+
+    def run(self, until: float | None = None) -> None:
+        """Fire events until the queue empties or the clock passes *until*."""
+        while True:
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            self.fire_due(next_time)
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward without firing anything (the fluid CPU
+        loop advances between event timestamps)."""
+        if time < self.now:
+            raise ValueError(f"cannot rewind clock: {time} < {self.now}")
+        self.now = time
+
+    def pending(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)

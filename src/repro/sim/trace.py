@@ -1,0 +1,100 @@
+"""Execution tracing for the simulator: a queryable event journal.
+
+Attach an :class:`ExecutionTrace` to a machine and every job completion
+and service interval is journalled with its virtual timestamp — the
+tool for debugging why a benchmark run spent its time where it did, and
+the data behind Gantt-style renderings of the XORP pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.sim.cpu import Machine, Task
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceInterval:
+    """One contiguous stretch of a task receiving CPU."""
+
+    task: str
+    start: float
+    end: float
+    cpu_seconds: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class ExecutionTrace:
+    """Journals per-task service intervals on one machine.
+
+    Consecutive intervals for the same task are coalesced, keeping the
+    journal compact on long runs.
+    """
+
+    def __init__(self, machine: Machine, min_gap: float = 1e-9):
+        self.machine = machine
+        self.min_gap = min_gap
+        self._intervals: dict[str, list[ServiceInterval]] = {}
+        machine.monitors.append(self)
+
+    def record(self, task: Task, start: float, end: float, served: float) -> None:
+        if served <= 0:
+            return
+        history = self._intervals.setdefault(task.name, [])
+        if history and start - history[-1].end <= self.min_gap:
+            last = history[-1]
+            history[-1] = ServiceInterval(
+                task.name, last.start, end, last.cpu_seconds + served
+            )
+        else:
+            history.append(ServiceInterval(task.name, start, end, served))
+
+    # -- queries -----------------------------------------------------------
+
+    def intervals(self, task_name: str) -> list[ServiceInterval]:
+        return list(self._intervals.get(task_name, []))
+
+    def tasks(self) -> list[str]:
+        return sorted(self._intervals)
+
+    def busy_seconds(self, task_name: str) -> float:
+        return sum(i.cpu_seconds for i in self._intervals.get(task_name, []))
+
+    def first_activity(self, task_name: str) -> float | None:
+        history = self._intervals.get(task_name)
+        return history[0].start if history else None
+
+    def last_activity(self, task_name: str) -> float | None:
+        history = self._intervals.get(task_name)
+        return history[-1].end if history else None
+
+    def all_intervals(self) -> Iterator[ServiceInterval]:
+        for name in self.tasks():
+            yield from self._intervals[name]
+
+    def gantt(self, width: int = 72, end: float | None = None) -> str:
+        """Render the journal as an ASCII Gantt chart (one row per task)."""
+        horizon = end
+        if horizon is None:
+            horizon = max(
+                (i.end for history in self._intervals.values() for i in history),
+                default=0.0,
+            )
+        if horizon <= 0:
+            return "(no activity)"
+        label_width = max((len(name) for name in self._intervals), default=4)
+        lines = []
+        for name in self.tasks():
+            row = [" "] * width
+            for interval in self._intervals[name]:
+                lo = min(width - 1, int(interval.start / horizon * width))
+                hi = min(width - 1, int(interval.end / horizon * width))
+                for column in range(lo, hi + 1):
+                    row[column] = "#"
+            lines.append(f"{name:<{label_width}} |{''.join(row)}|")
+        lines.append(f"{'':<{label_width}}  0{' ' * (width - len(f'{horizon:.2f}') - 1)}{horizon:.2f}s")
+        return "\n".join(lines)

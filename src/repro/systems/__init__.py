@@ -1,0 +1,33 @@
+"""Models of the four router systems the paper benchmarks (Table II).
+
+Each platform is a simulated machine (:mod:`repro.sim`) running the
+router's software model:
+
+* the three XORP platforms (Pentium III, Xeon, IXP2400) run the
+  five-process XORP pipeline of :class:`repro.systems.router.XorpRouter`
+  — per-packet work flows through interrupt → xorp_bgp → xorp_policy →
+  xorp_rib → xorp_fea → kernel FIB stages, each charged from the
+  calibrated cost tables in :mod:`repro.systems.costs`;
+* the Cisco 3620 is a black box (:class:`repro.systems.router.CiscoRouter`)
+  modeled as a paced input queue plus a single IOS CPU, which is what its
+  measured behaviour (flat ~10.7 tps on small packets, fast on large,
+  collapsing under cross-traffic) implies.
+
+:func:`build_system` constructs a ready-to-drive router under test by
+platform name: ``pentium3``, ``xeon``, ``ixp2400``, or ``cisco``.
+"""
+
+from repro.systems.costs import CostModel, XORP_BASE_COSTS
+from repro.systems.platforms import PLATFORMS, PlatformSpec, build_system
+from repro.systems.router import CiscoRouter, RouterSystem, XorpRouter
+
+__all__ = [
+    "CiscoRouter",
+    "CostModel",
+    "PLATFORMS",
+    "PlatformSpec",
+    "RouterSystem",
+    "XORP_BASE_COSTS",
+    "XorpRouter",
+    "build_system",
+]

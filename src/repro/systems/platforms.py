@@ -1,0 +1,177 @@
+"""The four benchmarked platforms (paper Table II) as specs + factory.
+
+Speeds are relative to the Pentium III reference. The fitted values and
+their rationale:
+
+* ``pentium3`` — speed 1.0 by definition; interrupt/softnet costs per
+  Mb/s chosen so 300 Mb/s of cross-traffic consumes 20–30% of the CPU
+  in interrupts (Figure 6(b)) and the PCI bus caps forwarding at
+  315 Mb/s.
+* ``xeon`` — 2 cores × 2 hyper-threads at 4.5× per-thread speed (3.0 GHz
+  versus 800 MHz plus the microarchitecture gap), SMT efficiency 0.6;
+  PCI Express caps forwarding at 784 Mb/s.
+* ``ixp2400`` — the XScale control processor at 0.14× with a heavy
+  router-manager background load (Figure 3(c) shows xorp_rtrmgr
+  consuming a considerable share on the XScale); forwarding is offloaded
+  to eight packet processors (a separate machine), capped at 940 Mb/s by
+  the network interconnect.
+* ``cisco`` — a black box: a paced input path (one BGP packet per IOS
+  scheduling quantum, which is what the flat ~10.7 small-packet
+  transactions/s implies) plus a single CPU whose forwarding interrupt
+  load approaches saturation at the 100 Mb/s port limit (78 Mb/s
+  achievable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.systems.costs import XORP_BASE_COSTS, CostModel
+
+
+@dataclass(frozen=True, slots=True)
+class ForwardingSpec:
+    """How the data plane interacts with the control processor."""
+
+    #: "shared"  — forwarding runs on the same CPU (kernel priority);
+    #: "offload" — forwarding runs on separate packet processors;
+    #: "blackbox" — commercial system; forwarding load modeled as
+    #:              interrupt demand on the single CPU.
+    kind: str
+    max_mbps: float
+    limit_reason: str
+    irq_cost_per_mbit: float = 0.0
+    softnet_cost_per_mbit: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class CiscoCosts:
+    """The black-box IOS cost model (seconds, at the Cisco's own speed)."""
+
+    pacing_interval: float = 0.0925
+    prefix_announce: float = 0.30e-3
+    prefix_withdraw: float = 0.24e-3
+    fib_add: float = 0.10e-3
+    fib_replace: float = 0.11e-3
+    fib_remove: float = 0.10e-3
+    export_prefix: float = 0.05e-3
+
+
+@dataclass(frozen=True, slots=True)
+class PlatformSpec:
+    """Everything needed to instantiate a router under test."""
+
+    name: str
+    description: str
+    kind: str  # "xorp" or "cisco"
+    cores: int = 1
+    threads_per_core: int = 1
+    smt_efficiency: float = 1.0
+    speed: float = 1.0
+    rtrmgr_background: float = 0.01
+    costs: CostModel = field(default_factory=lambda: XORP_BASE_COSTS)
+    cisco_costs: CiscoCosts = field(default_factory=CiscoCosts)
+    forwarding: ForwardingSpec = field(
+        default_factory=lambda: ForwardingSpec("shared", 315.0, "PCI bus")
+    )
+    #: Packet-processor machine capacity for offload platforms, in
+    #: core-speed units.
+    offload_processors: int = 8
+    offload_cost_per_mbit: float = 0.0
+
+
+PLATFORMS: dict[str, PlatformSpec] = {
+    "pentium3": PlatformSpec(
+        name="pentium3",
+        description="Uni-core router: Intel Pentium III (800 MHz), Linux 2.6.18, XORP 1.3",
+        kind="xorp",
+        cores=1,
+        speed=1.0,
+        rtrmgr_background=0.01,
+        forwarding=ForwardingSpec(
+            kind="shared",
+            max_mbps=315.0,
+            limit_reason="PCI bus limitations",
+            irq_cost_per_mbit=8.0e-4,
+            softnet_cost_per_mbit=5.0e-4,
+        ),
+    ),
+    "xeon": PlatformSpec(
+        name="xeon",
+        description="Dual-core router: Dual-Core Intel Xeon (3.0 GHz, HT), Linux 2.6.18, XORP 1.3",
+        kind="xorp",
+        cores=2,
+        threads_per_core=2,
+        smt_efficiency=0.6,
+        speed=4.5,
+        rtrmgr_background=0.01,
+        forwarding=ForwardingSpec(
+            kind="shared",
+            max_mbps=784.0,
+            limit_reason="PCI Express bus limitations",
+            irq_cost_per_mbit=2.6e-3,
+            softnet_cost_per_mbit=1.6e-3,
+        ),
+    ),
+    "ixp2400": PlatformSpec(
+        name="ixp2400",
+        description="Network processor router: Intel IXP2400 (XScale 600 MHz), Linux 2.4.18, XORP 1.3",
+        kind="xorp",
+        cores=1,
+        speed=0.14,
+        rtrmgr_background=0.20,
+        forwarding=ForwardingSpec(
+            kind="offload",
+            max_mbps=940.0,
+            limit_reason="network interconnect limitations",
+        ),
+        offload_processors=8,
+        offload_cost_per_mbit=6.0e-3,
+    ),
+    "cisco": PlatformSpec(
+        name="cisco",
+        description="Commercial router: Cisco 3620, IOS 12.1(5)YB",
+        kind="cisco",
+        cores=1,
+        speed=1.0,
+        forwarding=ForwardingSpec(
+            kind="blackbox",
+            max_mbps=78.0,
+            limit_reason="100 Mb/s router ports",
+            irq_cost_per_mbit=0.95 / 78.0,
+        ),
+    ),
+}
+
+#: Friendly aliases matching the paper's system names.
+ALIASES = {
+    "pentium iii": "pentium3",
+    "p3": "pentium3",
+    "uni-core": "pentium3",
+    "dual-core": "xeon",
+    "ixp": "ixp2400",
+    "network-processor": "ixp2400",
+    "commercial": "cisco",
+}
+
+
+def get_spec(name: str) -> PlatformSpec:
+    key = name.lower()
+    key = ALIASES.get(key, key)
+    try:
+        return PLATFORMS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; choose from {sorted(PLATFORMS)}"
+        ) from None
+
+
+def build_system(name: str, **kwargs):
+    """Instantiate a ready-to-drive router under test by platform name."""
+    # Imported here to avoid a circular import (router builds on specs).
+    from repro.systems.router import CiscoRouter, XorpRouter
+
+    spec = get_spec(name)
+    if spec.kind == "cisco":
+        return CiscoRouter(spec, **kwargs)
+    return XorpRouter(spec, **kwargs)

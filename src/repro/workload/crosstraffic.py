@@ -1,0 +1,54 @@
+"""Cross-traffic load descriptions.
+
+The paper injects forwarding traffic while the BGP benchmark runs
+(§V.B). In the simulation, cross-traffic is a fluid load — the router
+models convert an offered rate in Mb/s into interrupt and softnet CPU
+demand — so this module only needs to describe offered rates and the
+sweep levels of Figure 5, plus a helper to express loads in packets per
+second for documentation and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class CrossTrafficLoad:
+    """An offered forwarding load."""
+
+    mbps: float
+    packet_bytes: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.mbps < 0:
+            raise ValueError(f"negative rate: {self.mbps}")
+        if self.packet_bytes <= 0:
+            raise ValueError(f"bad packet size: {self.packet_bytes}")
+
+    @property
+    def packets_per_second(self) -> float:
+        return self.mbps * 1e6 / (self.packet_bytes * 8)
+
+    def capped(self, max_mbps: float) -> "CrossTrafficLoad":
+        """The load actually reaching the router given a link/bus cap."""
+        return CrossTrafficLoad(min(self.mbps, max_mbps), self.packet_bytes)
+
+
+#: Per-platform maximum forwarding rates from the paper (§V.B).
+PLATFORM_MAX_MBPS = {
+    "pentium3": 315.0,
+    "xeon": 784.0,
+    "ixp2400": 940.0,
+    "cisco": 78.0,
+}
+
+
+def sweep_levels(platform: str, points: int = 6) -> list[float]:
+    """Cross-traffic levels for a Figure 5 sweep on *platform*: evenly
+    spaced from zero to the platform's maximum forwarding rate."""
+    if points < 2:
+        raise ValueError("need at least two sweep points")
+    maximum = PLATFORM_MAX_MBPS[platform]
+    step = maximum / (points - 1)
+    return [round(step * i, 3) for i in range(points)]

@@ -1,0 +1,132 @@
+"""Scripted update timelines: workloads as events over virtual time.
+
+The benchmark scenarios deliver packets as fast as backpressure allows;
+real routers see updates *over time* — a steady drizzle of churn
+(~100 messages/s, paper §II), punctuated by storms. A
+:class:`Timeline` is an ordered list of (time, peer, packet) deliveries
+that can be composed from phases and handed to any router under test;
+because delivery times are explicit, timelines are exactly replayable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.systems.router import RouterSystem
+from repro.workload.tablegen import SyntheticTable
+from repro.workload.updates import UpdateStreamBuilder
+
+
+@dataclass(frozen=True, slots=True)
+class TimedDelivery:
+    time: float
+    peer_id: str
+    packet: bytes
+
+
+class Timeline:
+    """An ordered schedule of packet deliveries."""
+
+    def __init__(self) -> None:
+        self._deliveries: list[TimedDelivery] = []
+        self._sorted = True
+
+    def __len__(self) -> int:
+        return len(self._deliveries)
+
+    def add(self, time: float, peer_id: str, packet: bytes) -> None:
+        if time < 0:
+            raise ValueError(f"negative delivery time: {time}")
+        if self._deliveries and time < self._deliveries[-1].time:
+            self._sorted = False
+        self._deliveries.append(TimedDelivery(time, peer_id, packet))
+
+    def deliveries(self) -> list[TimedDelivery]:
+        if not self._sorted:
+            self._deliveries.sort(key=lambda d: d.time)
+            self._sorted = True
+        return list(self._deliveries)
+
+    @property
+    def end_time(self) -> float:
+        return max((d.time for d in self._deliveries), default=0.0)
+
+    def packets_between(self, start: float, end: float) -> int:
+        return sum(1 for d in self._deliveries if start <= d.time < end)
+
+    # -- composition ----------------------------------------------------------
+
+    def add_burst(
+        self, at: float, peer_id: str, packets: "list[bytes]"
+    ) -> "Timeline":
+        """All *packets* delivered at the same instant (a table dump)."""
+        for packet in packets:
+            self.add(at, peer_id, packet)
+        return self
+
+    def add_paced(
+        self,
+        start: float,
+        peer_id: str,
+        packets: "list[bytes]",
+        rate: float,
+    ) -> "Timeline":
+        """Packets delivered at a constant *rate* (packets/second)."""
+        if rate <= 0:
+            raise ValueError(f"rate must be positive: {rate}")
+        for index, packet in enumerate(packets):
+            self.add(start + index / rate, peer_id, packet)
+        return self
+
+    def add_poisson(
+        self,
+        start: float,
+        duration: float,
+        peer_id: str,
+        packets: "list[bytes]",
+        rate: float,
+        seed: int = 42,
+    ) -> "Timeline":
+        """Packets at Poisson arrivals with mean *rate* over *duration*
+        — the steady-state churn model. Unused packets are dropped when
+        the window fills up before they are exhausted."""
+        if rate <= 0 or duration <= 0:
+            raise ValueError("rate and duration must be positive")
+        rng = random.Random(seed)
+        now = start
+        for packet in packets:
+            now += rng.expovariate(rate)
+            if now >= start + duration:
+                break
+            self.add(now, peer_id, packet)
+        return self
+
+    # -- execution ---------------------------------------------------------------
+
+    def deliver_to(self, router: RouterSystem) -> None:
+        """Schedule the whole timeline into the router's virtual clock
+        (relative to the router's current time); run the world to
+        execute it."""
+        for delivery in self.deliveries():
+            router.deliver(delivery.peer_id, delivery.packet, delay=delivery.time)
+
+
+def steady_state_churn(
+    peer_id: str,
+    table: SyntheticTable,
+    builder: UpdateStreamBuilder,
+    duration: float,
+    rate: float = 100.0,
+    seed: int = 42,
+) -> Timeline:
+    """The paper's §II baseline: ~100 updates/s of background churn —
+    alternating re-announcements and withdrawals over the table at
+    Poisson arrivals."""
+    packets = builder.flap_storm(
+        table, rounds=max(2, int(rate * duration / max(1, len(table))) + 1),
+        prefixes_per_update=1,
+    )
+    timeline = Timeline()
+    timeline.add_poisson(0.0, duration, peer_id, packets, rate, seed)
+    return timeline

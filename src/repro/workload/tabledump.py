@@ -1,0 +1,102 @@
+"""Routing-table serialisation: an MRT-inspired compact binary format.
+
+Real benchmarking harnesses replay captured tables (MRT dumps from
+RouteViews); offline we serialise our synthetic tables so a workload
+can be generated once, checked in or shared, and replayed byte-for-byte
+identically across machines — the repeatability requirement of §I.
+
+Format (big-endian):
+
+    magic   4 bytes  b"BGT1"
+    seed    4 bytes  u32
+    count   4 bytes  u32
+    entries count ×:
+        prefix length  1 byte
+        network        minimal bytes (NLRI-style packing)
+        origin AS      2 bytes
+        transit count  1 byte
+        transit ASes   2 bytes each
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.net.addr import Prefix
+from repro.workload.tablegen import RouteEntry, SyntheticTable
+
+MAGIC = b"BGT1"
+
+
+class TableFormatError(ValueError):
+    """Raised when a dump cannot be parsed."""
+
+
+def dumps(table: SyntheticTable) -> bytes:
+    """Serialise *table* to bytes."""
+    out = io.BytesIO()
+    out.write(MAGIC)
+    out.write((table.seed & 0xFFFFFFFF).to_bytes(4, "big"))
+    out.write(len(table).to_bytes(4, "big"))
+    for entry in table:
+        prefix = entry.prefix
+        out.write(bytes((prefix.length,)))
+        byte_count = (prefix.length + 7) // 8
+        out.write(prefix.network.to_bytes(4, "big")[:byte_count])
+        out.write(entry.origin_as.to_bytes(2, "big"))
+        if len(entry.transit) > 255:
+            raise TableFormatError("transit path too long to serialise")
+        out.write(bytes((len(entry.transit),)))
+        for asn in entry.transit:
+            out.write(asn.to_bytes(2, "big"))
+    return out.getvalue()
+
+
+def loads(data: bytes) -> SyntheticTable:
+    """Parse bytes produced by :func:`dumps`."""
+    stream = io.BytesIO(data)
+
+    def take(n: int) -> bytes:
+        chunk = stream.read(n)
+        if len(chunk) != n:
+            raise TableFormatError("truncated table dump")
+        return chunk
+
+    if take(4) != MAGIC:
+        raise TableFormatError("bad magic (not a table dump)")
+    seed = int.from_bytes(take(4), "big")
+    count = int.from_bytes(take(4), "big")
+    entries = []
+    for _ in range(count):
+        length = take(1)[0]
+        if length > 32:
+            raise TableFormatError(f"prefix length {length} out of range")
+        byte_count = (length + 7) // 8
+        raw = take(byte_count)
+        network = int.from_bytes(raw + b"\x00" * (4 - byte_count), "big")
+        try:
+            prefix = Prefix(network, length)
+        except ValueError as exc:
+            raise TableFormatError(str(exc)) from None
+        origin_as = int.from_bytes(take(2), "big")
+        transit_count = take(1)[0]
+        transit = tuple(
+            int.from_bytes(take(2), "big") for _ in range(transit_count)
+        )
+        entries.append(RouteEntry(prefix, origin_as, transit))
+    if stream.read(1):
+        raise TableFormatError("trailing bytes after table dump")
+    return SyntheticTable(entries, seed)
+
+
+def save(table: SyntheticTable, path: "str | Path") -> int:
+    """Write *table* to *path*; returns the byte count."""
+    data = dumps(table)
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def load(path: "str | Path") -> SyntheticTable:
+    """Read a table dump from *path*."""
+    return loads(Path(path).read_bytes())

@@ -1,0 +1,145 @@
+"""Synthetic routing-table generation.
+
+The paper's speakers inject "a large routing table" taken from an
+operational environment (the 2007 Internet held ~180 000 prefixes,
+§I). Operational feeds are not available offline, so we generate a
+synthetic table whose *prefix-length distribution* matches the
+published Internet mix of the era — the property that determines UPDATE
+message sizes (and therefore the small/large packet behaviour the
+benchmark distinguishes). Which concrete prefixes appear is irrelevant
+to BGP processing cost, so they are drawn from a seeded PRNG.
+
+Every entry also carries an origin AS and two transit ASNs, from which
+the per-scenario AS paths are derived: Speaker 1 announces a 4-hop
+path, Speaker 2's "longer path" variant has 6 hops and its "shorter
+path" variant 2 hops (paper scenarios 5–8).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.addr import IPv4Address, Prefix
+
+#: Approximate share of table entries by prefix length, modeled on the
+#: 2007 global table (dominated by /24s, with mass at /16 and /19–/22).
+PREFIX_LENGTH_MIX: tuple[tuple[int, float], ...] = (
+    (8, 0.001),
+    (12, 0.002),
+    (13, 0.004),
+    (14, 0.008),
+    (15, 0.010),
+    (16, 0.080),
+    (17, 0.030),
+    (18, 0.045),
+    (19, 0.080),
+    (20, 0.060),
+    (21, 0.050),
+    (22, 0.070),
+    (23, 0.050),
+    (24, 0.510),
+)
+
+#: First-octet range for generated prefixes: stay inside conventional
+#: unicast space and away from 0/8, 10/8, 127/8, and 224/4.
+_FIRST_OCTET_CHOICES = tuple(
+    octet for octet in range(1, 224) if octet not in (10, 127)
+)
+
+
+@dataclass(frozen=True, slots=True)
+class RouteEntry:
+    """One table entry: a prefix plus the AS-path raw material."""
+
+    prefix: Prefix
+    origin_as: int
+    transit: tuple[int, ...]
+
+    def path_via(self, speaker_as: int, extra_hops: int = 0) -> tuple[int, ...]:
+        """The AS path Speaker *speaker_as* announces for this entry.
+
+        ``extra_hops = 0`` gives the 4-hop baseline (speaker, two
+        transits, origin); positive values insert additional transit
+        hops ("longer AS PATH", scenario 5/6); ``extra_hops = -2`` drops
+        the transits entirely ("shorter AS PATH", scenario 7/8).
+        """
+        if extra_hops <= -2:
+            return (speaker_as, self.origin_as)
+        middle = list(self.transit)
+        if extra_hops == -1:
+            middle = middle[:1]
+        else:
+            base = self.transit[0]
+            # Deterministic synthetic transit hops, distinct from the rest.
+            middle.extend(30000 + (base + i) % 20000 for i in range(extra_hops))
+        return (speaker_as, *middle, self.origin_as)
+
+
+class SyntheticTable:
+    """A generated routing table: an ordered list of unique entries."""
+
+    def __init__(self, entries: list[RouteEntry], seed: int):
+        self.entries = entries
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __getitem__(self, index):
+        return self.entries[index]
+
+    def prefixes(self) -> list[Prefix]:
+        return [entry.prefix for entry in self.entries]
+
+    def length_histogram(self) -> dict[int, int]:
+        histogram: dict[int, int] = {}
+        for entry in self.entries:
+            histogram[entry.prefix.length] = histogram.get(entry.prefix.length, 0) + 1
+        return histogram
+
+
+def _draw_length(rng: random.Random) -> int:
+    roll = rng.random()
+    cumulative = 0.0
+    for length, share in PREFIX_LENGTH_MIX:
+        cumulative += share
+        if roll < cumulative:
+            return length
+    return PREFIX_LENGTH_MIX[-1][0]
+
+
+def draw_unique_prefixes(rng: random.Random, size: int) -> list[Prefix]:
+    """Draw *size* distinct prefixes following the published length mix."""
+    seen: set[Prefix] = set()
+    prefixes: list[Prefix] = []
+    while len(prefixes) < size:
+        length = _draw_length(rng)
+        first_octet = rng.choice(_FIRST_OCTET_CHOICES)
+        rest = rng.getrandbits(24)
+        network = (first_octet << 24) | rest
+        prefix = Prefix.from_address(IPv4Address(network), length)
+        if prefix in seen:
+            continue
+        seen.add(prefix)
+        prefixes.append(prefix)
+    return prefixes
+
+
+def generate_table(size: int, seed: int = 42) -> SyntheticTable:
+    """Generate *size* unique route entries, deterministically from *seed*."""
+    if size < 0:
+        raise ValueError(f"negative table size: {size}")
+    rng = random.Random(seed)
+    entries = [
+        RouteEntry(
+            prefix,
+            origin_as=rng.randrange(1000, 29000),
+            transit=(rng.randrange(1000, 29000), rng.randrange(1000, 29000)),
+        )
+        for prefix in draw_unique_prefixes(rng, size)
+    ]
+    return SyntheticTable(entries, seed)

@@ -1,0 +1,97 @@
+"""UPDATE packet stream builders for the benchmark phases.
+
+Streams are lists of wire-format packets. "Small" packets carry one
+UPDATE with a single prefix; "large" packets carry one UPDATE with 500
+prefixes (paper §III.D). Prefixes grouped into one UPDATE share one
+attribute set, so path variation happens per message, exactly as a
+table-dump replay would produce.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.bgp.attributes import AsPath, Origin, PathAttributes
+from repro.bgp.messages import UpdateMessage
+from repro.net.addr import IPv4Address
+from repro.workload.tablegen import RouteEntry, SyntheticTable
+
+#: The paper's "large packet" UPDATE size.
+LARGE_UPDATE_PREFIXES = 500
+
+
+def _batches(entries: list[RouteEntry], size: int) -> Iterator[list[RouteEntry]]:
+    for start in range(0, len(entries), size):
+        yield entries[start : start + size]
+
+
+class UpdateStreamBuilder:
+    """Builds the per-speaker packet streams of the benchmark phases."""
+
+    def __init__(self, speaker_asn: int, next_hop: IPv4Address):
+        self.speaker_asn = speaker_asn
+        self.next_hop = next_hop
+
+    def _attributes(self, entry: RouteEntry, extra_hops: int) -> PathAttributes:
+        return PathAttributes(
+            origin=Origin.IGP,
+            as_path=AsPath.from_asns(entry.path_via(self.speaker_asn, extra_hops)),
+            next_hop=self.next_hop,
+        )
+
+    def announcements(
+        self,
+        table: "SyntheticTable | list[RouteEntry]",
+        prefixes_per_update: int = 1,
+        extra_hops: int = 0,
+    ) -> list[bytes]:
+        """Announcement packets for every entry, *extra_hops* controlling
+        the AS-path length variant (0 = baseline, >0 = longer, -2 =
+        shorter; see :meth:`RouteEntry.path_via`)."""
+        if prefixes_per_update < 1:
+            raise ValueError("prefixes_per_update must be >= 1")
+        packets = []
+        for batch in _batches(list(table), prefixes_per_update):
+            attrs = self._attributes(batch[0], extra_hops)
+            nlri = tuple(entry.prefix for entry in batch)
+            packets.append(UpdateMessage(attributes=attrs, nlri=nlri).encode())
+        return packets
+
+    def withdrawals(
+        self,
+        table: "SyntheticTable | list[RouteEntry]",
+        prefixes_per_update: int = 1,
+    ) -> list[bytes]:
+        """Withdrawal packets for every entry."""
+        if prefixes_per_update < 1:
+            raise ValueError("prefixes_per_update must be >= 1")
+        packets = []
+        for batch in _batches(list(table), prefixes_per_update):
+            withdrawn = tuple(entry.prefix for entry in batch)
+            packets.append(UpdateMessage(withdrawn=withdrawn).encode())
+        return packets
+
+    def flap_storm(
+        self,
+        table: "SyntheticTable | list[RouteEntry]",
+        rounds: int,
+        prefixes_per_update: int = 1,
+    ) -> list[bytes]:
+        """An announce/withdraw storm: *rounds* alternating passes over
+        the table — the worm-event workload of the paper's discussion
+        (updates 2–3 orders of magnitude above steady state, ref. [6])."""
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        packets: list[bytes] = []
+        for round_index in range(rounds):
+            if round_index % 2 == 0:
+                packets.extend(
+                    self.announcements(
+                        table,
+                        prefixes_per_update,
+                        extra_hops=round_index % 3,
+                    )
+                )
+            else:
+                packets.extend(self.withdrawals(table, prefixes_per_update))
+        return packets

@@ -1,0 +1,98 @@
+"""Tests for multi-router propagation chains."""
+
+import pytest
+
+from repro.benchmark.chain import (
+    ChainResult,
+    build_router,
+    connect_routers,
+    run_chain_propagation,
+)
+from repro.sim.cpu import World
+from repro.workload.tablegen import generate_table
+
+SIZE = 300
+
+
+class TestChainConstruction:
+    def test_chain_routers_get_distinct_asns(self):
+        world = World()
+        a = build_router("pentium3", world, 0)
+        b = build_router("pentium3", world, 1)
+        assert a.speaker.config.asn != b.speaker.config.asn
+
+    def test_connect_requires_shared_world(self):
+        a = build_router("pentium3", World(), 0)
+        b = build_router("pentium3", World(), 1)
+        with pytest.raises(ValueError):
+            connect_routers(a, "x", b, "y")
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            run_chain_propagation([])
+
+
+class TestPropagation:
+    def test_table_reaches_every_hop(self):
+        result = run_chain_propagation(["pentium3"] * 3, table_size=SIZE)
+        assert result.fib_sizes == [SIZE, SIZE, SIZE]
+        assert all(t < float("inf") for t in result.fib_complete_at)
+
+    def test_completion_monotonic_along_chain(self):
+        result = run_chain_propagation(
+            ["pentium3"] * 3, table_size=SIZE, prefixes_per_update=500
+        )
+        times = result.fib_complete_at
+        assert times[0] <= times[1] <= times[2]
+
+    def test_paths_accumulate_hop_asns(self):
+        world = World()
+        # Use run_chain_propagation then inspect the last router.
+        result = run_chain_propagation(["pentium3", "pentium3"], table_size=50)
+        assert result.end_to_end > 0
+
+    def test_large_packets_store_and_forward(self):
+        """One 500-prefix packet cannot leave a hop before the whole
+        batch is processed: per-hop delays are substantial."""
+        result = run_chain_propagation(
+            ["pentium3"] * 3, table_size=500, prefixes_per_update=500
+        )
+        delays = result.per_hop_delays()
+        assert delays[1] > 0.3 * delays[0]
+
+    def test_small_packets_cut_through(self):
+        """Per-prefix packets pipeline across hops: downstream completes
+        almost together with upstream — far sooner than serial."""
+        result = run_chain_propagation(
+            ["pentium3"] * 3, table_size=200, prefixes_per_update=1
+        )
+        serial_estimate = 3 * result.fib_complete_at[0]
+        assert result.end_to_end < 0.6 * serial_estimate
+
+    def test_slowest_hop_dominates(self):
+        fast = run_chain_propagation(["xeon", "xeon"], table_size=SIZE)
+        mixed = run_chain_propagation(["xeon", "ixp2400"], table_size=SIZE)
+        assert mixed.end_to_end > 5 * fast.end_to_end
+
+    def test_supplied_table(self):
+        table = generate_table(100, seed=9)
+        result = run_chain_propagation(["pentium3"], table=table)
+        assert result.table_size == 100
+        assert result.fib_sizes == [100]
+
+    def test_link_delay_adds_up(self):
+        quick = run_chain_propagation(["xeon"] * 3, table_size=50, link_delay=0.0)
+        slow = run_chain_propagation(["xeon"] * 3, table_size=50, link_delay=0.5)
+        assert slow.end_to_end > quick.end_to_end + 0.9  # 2 links x 0.5s
+
+
+class TestChainResult:
+    def test_per_hop_delays(self):
+        result = ChainResult(
+            platforms=["a", "b"], table_size=1, fib_complete_at=[1.0, 3.5]
+        )
+        assert result.per_hop_delays() == [1.0, 2.5]
+        assert result.end_to_end == 3.5
+
+    def test_empty(self):
+        assert ChainResult(platforms=[], table_size=0).end_to_end == 0.0

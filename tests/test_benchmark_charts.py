@@ -1,0 +1,82 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.benchmark.charts import render_chart, render_sparkline
+
+
+class TestRenderChart:
+    def test_empty(self):
+        assert "(no data)" in render_chart({}, title="empty")
+
+    def test_title_and_legend(self):
+        text = render_chart({"a": [(0, 1), (1, 2)]}, title="My Chart")
+        assert text.splitlines()[0] == "My Chart"
+        assert "*=a" in text
+
+    def test_multiple_series_distinct_glyphs(self):
+        text = render_chart({"a": [(0, 1)], "b": [(0, 2)], "c": [(0, 3)]})
+        assert "*=a" in text and "+=b" in text and "x=c" in text
+
+    def test_points_plotted_at_extremes(self):
+        text = render_chart({"a": [(0, 0), (10, 10)]}, width=20, height=5)
+        rows = [line for line in text.splitlines() if "|" in line]
+        # Max y in the top plot row, min y in the bottom plot row.
+        assert "*" in rows[0]
+        assert "*" in rows[-1]
+        # Leftmost and rightmost columns used.
+        top = rows[0].split("|", 1)[1]
+        bottom = rows[-1].split("|", 1)[1]
+        assert bottom[0] == "*"
+        assert top.rstrip()[-1] == "*"
+
+    def test_log_scale_skips_nonpositive(self):
+        text = render_chart({"a": [(0, 0.0), (1, 10.0), (2, 1000.0)]}, log_y=True)
+        assert "*" in text  # positive points survive
+
+    def test_log_scale_tick_values_are_linear_in_decades(self):
+        text = render_chart(
+            {"a": [(0, 1.0), (1, 10000.0)]}, log_y=True, height=9, y_label="tps"
+        )
+        assert "1e+04" in text or "10000" in text
+        assert "log scale" in text
+
+    def test_axis_labels(self):
+        text = render_chart(
+            {"a": [(0, 1)]}, x_label="Mb/s", y_label="transactions/s"
+        )
+        assert "[x: Mb/s]" in text
+        assert "[y: transactions/s]" in text
+
+    def test_constant_series_does_not_crash(self):
+        text = render_chart({"flat": [(0, 5.0), (1, 5.0), (2, 5.0)]})
+        assert "*" in text
+
+    def test_x_range_annotated(self):
+        text = render_chart({"a": [(0, 1), (315, 2)]})
+        assert "315" in text
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert render_sparkline([]) == ""
+
+    def test_flat(self):
+        line = render_sparkline([(0, 3.0), (1, 3.0)])
+        assert len(line) == 2
+        assert len(set(line)) == 1
+
+    def test_rising(self):
+        line = render_sparkline([(i, float(i)) for i in range(8)])
+        assert line[0] < line[-1]  # block glyphs sort by height
+
+    def test_downsampled_to_width(self):
+        line = render_sparkline([(i, float(i % 10)) for i in range(500)], width=40)
+        assert len(line) == 40
+
+    def test_dip_visible(self):
+        data = [(i, 300.0) for i in range(10)] + [(10, 0.0)] + [
+            (i, 300.0) for i in range(11, 20)
+        ]
+        line = render_sparkline(data)
+        assert min(line) == line[10]

@@ -1,0 +1,47 @@
+"""Unit tests for the text reporting helpers."""
+
+from repro.benchmark.report import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            "Title",
+            ["A", "B"],
+            [("row1", [1.0, 2.5]), ("row2", [3.0, 4.0])],
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "A" in lines[2] and "B" in lines[2]
+        assert "row1" in text and "2.5" in text
+
+    def test_string_values_pass_through(self):
+        text = format_table("T", ["X"], [("r", ["1.0/2"])])
+        assert "1.0/2" in text
+
+    def test_row_alignment(self):
+        text = format_table("T", ["X"], [("short", [1.0]), ("much-longer-label", [2.0])])
+        data_lines = [l for l in text.splitlines() if "|" in l and "X" not in l]
+        pipes = [line.index("|") for line in data_lines]
+        assert len(set(pipes)) == 1  # all rows align
+
+
+class TestFormatSeries:
+    def test_renders_each_series(self):
+        text = format_series(
+            "CPU",
+            {"xorp_bgp": [(0.0, 50.0), (1.0, 75.0)], "xorp_rib": [(0.0, 25.0)]},
+        )
+        assert "xorp_bgp" in text
+        assert "xorp_rib" in text
+        assert "0s:50%" in text
+
+    def test_empty_series_skipped(self):
+        text = format_series("CPU", {"idle": []})
+        assert "idle" not in text
+
+    def test_downsampling(self):
+        points = [(float(t), 1.0) for t in range(200)]
+        text = format_series("CPU", {"t": points}, max_points=10)
+        rendered_points = text.splitlines()[1].count("%")
+        assert rendered_points <= 21

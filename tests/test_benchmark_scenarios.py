@@ -1,0 +1,86 @@
+"""Unit tests for the Table I scenario definitions."""
+
+import pytest
+
+from repro.benchmark.scenarios import LARGE, SCENARIOS, get_scenario
+
+
+class TestTableI:
+    def test_eight_scenarios(self):
+        assert sorted(SCENARIOS) == list(range(1, 9))
+
+    def test_packet_sizes_alternate(self):
+        for number, scenario in SCENARIOS.items():
+            expected = 1 if number % 2 == 1 else LARGE
+            assert scenario.prefixes_per_update == expected
+            assert scenario.packet_size == ("small" if number % 2 else "large")
+
+    def test_operations(self):
+        assert SCENARIOS[1].operation == "start-up"
+        assert SCENARIOS[2].operation == "start-up"
+        assert SCENARIOS[3].operation == "ending"
+        assert SCENARIOS[4].operation == "ending"
+        for number in (5, 6, 7, 8):
+            assert SCENARIOS[number].operation == "incremental"
+
+    def test_update_types(self):
+        assert SCENARIOS[3].update_type == "WITHDRAW"
+        assert SCENARIOS[4].update_type == "WITHDRAW"
+        for number in (1, 2, 5, 6, 7, 8):
+            assert SCENARIOS[number].update_type == "ANNOUNCE"
+
+    def test_fib_changes_row(self):
+        # Table I: FIB changes yes for 1-4 and 7-8, no for 5-6.
+        for number in (1, 2, 3, 4, 7, 8):
+            assert SCENARIOS[number].fib_changes
+        for number in (5, 6):
+            assert not SCENARIOS[number].fib_changes
+
+    def test_measured_phase(self):
+        assert SCENARIOS[1].measured_phase == 1
+        assert SCENARIOS[2].measured_phase == 1
+        for number in range(3, 9):
+            assert SCENARIOS[number].measured_phase == 3
+
+    def test_second_speaker_only_for_incremental(self):
+        for number in (1, 2, 3, 4):
+            assert not SCENARIOS[number].uses_second_speaker
+        for number in (5, 6, 7, 8):
+            assert SCENARIOS[number].uses_second_speaker
+
+    def test_path_variation(self):
+        assert SCENARIOS[5].path_extra_hops == 2
+        assert SCENARIOS[6].path_extra_hops == 2
+        assert SCENARIOS[7].path_extra_hops == -2
+        assert SCENARIOS[8].path_extra_hops == -2
+        assert SCENARIOS[1].path_extra_hops == 0
+
+
+class TestGetScenario:
+    def test_by_number(self):
+        assert get_scenario(5) is SCENARIOS[5]
+
+    def test_identity_pass_through(self):
+        assert get_scenario(SCENARIOS[2]) is SCENARIOS[2]
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_scenario(9)
+
+
+class TestRenderTable1:
+    def test_contains_all_scenarios(self):
+        from repro.benchmark.scenarios import render_table1
+
+        text = render_table1()
+        assert text.startswith("Table I")
+        for number in range(1, 9):
+            assert f"\n{number:>9} " in text
+        assert "WITHDRAW" in text and "ANNOUNCE" in text
+
+    def test_cli_scenarios_command(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out

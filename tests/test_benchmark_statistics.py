@@ -1,0 +1,81 @@
+"""Tests for benchmark statistics and the repeatability claim."""
+
+import pytest
+
+from repro.benchmark.statistics import (
+    RepeatabilityResult,
+    SampleStats,
+    repeatability_study,
+    speedup,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        stats = summarize([2.0, 4.0, 6.0])
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.stdev == pytest.approx(2.0)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 6.0
+
+    def test_single_value(self):
+        stats = summarize([7.0])
+        assert stats.stdev == 0.0
+        assert stats.coefficient_of_variation == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_coefficient_of_variation(self):
+        stats = summarize([90.0, 100.0, 110.0])
+        assert stats.coefficient_of_variation == pytest.approx(0.1, abs=0.01)
+
+    def test_spread(self):
+        stats = summarize([90.0, 100.0, 110.0])
+        assert stats.spread == pytest.approx(0.2)
+
+    def test_zero_mean(self):
+        stats = summarize([0.0, 0.0])
+        assert stats.coefficient_of_variation == float("inf")
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(100.0, 250.0) == 2.5
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+
+
+class TestRepeatability:
+    def test_needs_seeds(self):
+        with pytest.raises(ValueError):
+            repeatability_study("pentium3", 1, seeds=())
+
+    def test_same_seed_identical(self):
+        result = repeatability_study("pentium3", 1, seeds=(9, 9), table_size=200)
+        assert result.samples[0] == result.samples[1]
+        assert result.stats.stdev == 0.0
+
+    def test_benchmark_is_repeatable_across_seeds(self):
+        """The paper's §I claim: different workload instances of the
+        same shape produce near-identical metrics."""
+        result = repeatability_study(
+            "pentium3", 1, seeds=(1, 2, 3, 4), table_size=400
+        )
+        assert result.is_repeatable(tolerance=0.02), result.stats
+
+    def test_repeatable_on_large_packet_scenario(self):
+        result = repeatability_study("cisco", 2, seeds=(1, 2, 3), table_size=1000)
+        assert result.is_repeatable(tolerance=0.02), result.stats
+
+    def test_result_metadata(self):
+        result = repeatability_study("xeon", 6, seeds=(5,), table_size=300)
+        assert result.platform == "xeon"
+        assert result.scenario == 6
+        assert result.table_size == 300
+        assert len(result.samples) == 1

@@ -1,0 +1,130 @@
+"""Unit tests for route-flap damping (RFC 2439)."""
+
+import math
+
+import pytest
+
+from repro.bgp.damping import DampingConfig, RouteDamper
+from repro.net.addr import Prefix
+
+P = Prefix.parse("192.0.2.0/24")
+
+
+def fast_config(**overrides):
+    """A config with a short half-life so tests use small time spans."""
+    defaults = dict(half_life=100.0, max_suppress_time=600.0)
+    defaults.update(overrides)
+    return DampingConfig(**defaults)
+
+
+class TestConfig:
+    def test_default_values_are_classic(self):
+        config = DampingConfig()
+        assert config.suppress_threshold == 2000.0
+        assert config.reuse_threshold == 750.0
+        assert config.half_life == 900.0
+
+    def test_decay_rate_halves_at_half_life(self):
+        config = fast_config()
+        assert math.exp(-config.decay_rate * config.half_life) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DampingConfig(half_life=0)
+        with pytest.raises(ValueError):
+            DampingConfig(reuse_threshold=3000.0)
+        with pytest.raises(ValueError):
+            DampingConfig(max_suppress_time=-1)
+
+    def test_penalty_ceiling_bounds_suppression(self):
+        config = fast_config()
+        # A route at the ceiling decays to the reuse threshold in
+        # exactly max_suppress_time.
+        decayed = config.penalty_ceiling * math.exp(
+            -config.decay_rate * config.max_suppress_time
+        )
+        assert decayed == pytest.approx(config.reuse_threshold)
+
+
+class TestSuppression:
+    def test_single_withdrawal_not_suppressed(self):
+        damper = RouteDamper(fast_config())
+        assert not damper.record_withdrawal(P, now=0.0)
+        assert not damper.is_suppressed(P, now=0.0)
+
+    def test_three_quick_withdrawals_suppress(self):
+        damper = RouteDamper(fast_config())
+        damper.record_withdrawal(P, now=0.0)
+        damper.record_readvertisement(P, now=0.5)
+        assert not damper.record_withdrawal(P, now=1.0)
+        damper.record_readvertisement(P, now=1.5)
+        assert damper.record_withdrawal(P, now=2.0)
+        assert damper.is_suppressed(P, now=2.0)
+        assert damper.suppressions == 1
+
+    def test_attribute_changes_accumulate(self):
+        damper = RouteDamper(fast_config())
+        for i in range(5):
+            damper.record_attribute_change(P, now=float(i))
+        assert damper.is_suppressed(P, now=5.0)
+
+    def test_penalty_decays_and_route_reused(self):
+        config = fast_config()
+        damper = RouteDamper(config)
+        damper.record_withdrawal(P, now=0.0)
+        damper.record_withdrawal(P, now=1.0)
+        damper.record_withdrawal(P, now=2.0)
+        assert damper.is_suppressed(P, now=2.0)
+        # Wait long enough for penalty to fall below the reuse threshold.
+        reuse_after = damper.reuse_time(P, now=2.0)
+        assert reuse_after is not None
+        assert not damper.is_suppressed(P, now=2.0 + reuse_after + 0.1)
+        assert damper.reuses == 1
+
+    def test_reuse_time_none_when_not_suppressed(self):
+        damper = RouteDamper(fast_config())
+        assert damper.reuse_time(P, now=0.0) is None
+
+    def test_max_suppress_time_respected(self):
+        config = fast_config()
+        damper = RouteDamper(config)
+        # Hammer the route far past the ceiling.
+        for i in range(50):
+            damper.record_withdrawal(P, now=0.1 * i)
+        last_flap = 0.1 * 49
+        assert damper.is_suppressed(P, now=last_flap)
+        reuse_after = damper.reuse_time(P, now=last_flap)
+        assert reuse_after is not None
+        assert reuse_after <= config.max_suppress_time + 1e-6
+
+    def test_distinct_prefixes_independent(self):
+        other = Prefix.parse("198.51.100.0/24")
+        damper = RouteDamper(fast_config())
+        damper.record_withdrawal(P, now=0.0)
+        damper.record_withdrawal(P, now=1.0)
+        damper.record_withdrawal(P, now=2.0)
+        assert damper.is_suppressed(P, now=2.0)
+        assert not damper.is_suppressed(other, now=2.0)
+
+    def test_penalty_of_decays(self):
+        config = fast_config()
+        damper = RouteDamper(config)
+        damper.record_withdrawal(P, now=0.0)
+        assert damper.penalty_of(P, now=0.0) == pytest.approx(1000.0)
+        assert damper.penalty_of(P, now=config.half_life) == pytest.approx(500.0)
+
+    def test_garbage_collection(self):
+        config = fast_config()
+        damper = RouteDamper(config)
+        damper.record_withdrawal(P, now=0.0)
+        assert len(damper) == 1
+        # After many half-lives the penalty is negligible: GC on query.
+        assert not damper.is_suppressed(P, now=1500.0)
+        assert len(damper) == 0
+
+    def test_flap_counter(self):
+        damper = RouteDamper(fast_config())
+        damper.record_withdrawal(P, now=0.0)
+        damper.record_readvertisement(P, now=1.0)
+        damper.record_attribute_change(P, now=2.0)
+        assert damper._histories[P].flaps == 3

@@ -1,0 +1,75 @@
+"""Unit tests for the NOTIFICATION error taxonomy."""
+
+import pytest
+
+from repro.bgp.errors import (
+    BgpError,
+    CeaseSubcode,
+    ErrorCode,
+    HeaderSubcode,
+    NotificationData,
+    OpenSubcode,
+    UpdateSubcode,
+    header_error,
+    open_error,
+    update_error,
+)
+
+
+class TestNotificationData:
+    def test_describe_known_codes(self):
+        data = NotificationData(ErrorCode.UPDATE_MESSAGE_ERROR,
+                                UpdateSubcode.MALFORMED_AS_PATH)
+        assert data.describe() == "UPDATE_MESSAGE_ERROR/MALFORMED_AS_PATH"
+
+    def test_describe_header(self):
+        data = NotificationData(ErrorCode.MESSAGE_HEADER_ERROR,
+                                HeaderSubcode.BAD_MESSAGE_TYPE)
+        assert "BAD_MESSAGE_TYPE" in data.describe()
+
+    def test_describe_cease(self):
+        data = NotificationData(ErrorCode.CEASE, CeaseSubcode.ADMINISTRATIVE_RESET)
+        assert "ADMINISTRATIVE_RESET" in data.describe()
+
+    def test_describe_zero_subcode(self):
+        data = NotificationData(ErrorCode.HOLD_TIMER_EXPIRED)
+        assert data.describe().startswith("HOLD_TIMER_EXPIRED")
+
+    def test_describe_unknown_code(self):
+        assert "code 99" in NotificationData(99, 1).describe()
+
+    def test_describe_unknown_subcode(self):
+        data = NotificationData(ErrorCode.OPEN_MESSAGE_ERROR, 250)
+        assert "subcode 250" in data.describe()
+
+    def test_frozen(self):
+        data = NotificationData(1, 2, b"x")
+        with pytest.raises(AttributeError):
+            data.code = 3
+
+
+class TestBgpError:
+    def test_carries_notification(self):
+        error = BgpError(ErrorCode.FSM_ERROR, 0, b"ctx", "bad transition")
+        assert error.notification == NotificationData(ErrorCode.FSM_ERROR, 0, b"ctx")
+        assert str(error) == "bad transition"
+
+    def test_default_message_is_description(self):
+        error = BgpError(ErrorCode.CEASE, CeaseSubcode.OUT_OF_RESOURCES)
+        assert "OUT_OF_RESOURCES" in str(error)
+
+    def test_helpers_set_codes(self):
+        assert header_error(HeaderSubcode.BAD_MESSAGE_LENGTH).notification.code == \
+            ErrorCode.MESSAGE_HEADER_ERROR
+        assert open_error(OpenSubcode.BAD_PEER_AS).notification.code == \
+            ErrorCode.OPEN_MESSAGE_ERROR
+        assert update_error(UpdateSubcode.INVALID_NETWORK_FIELD).notification.code == \
+            ErrorCode.UPDATE_MESSAGE_ERROR
+
+    def test_is_exception(self):
+        with pytest.raises(BgpError):
+            raise update_error(UpdateSubcode.MALFORMED_ATTRIBUTE_LIST)
+
+    def test_data_payload_preserved(self):
+        error = update_error(UpdateSubcode.ATTRIBUTE_FLAGS_ERROR, data=b"\x40\x01")
+        assert error.notification.data == b"\x40\x01"

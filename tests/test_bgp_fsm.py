@@ -1,0 +1,213 @@
+"""Unit tests for the BGP session finite-state machine."""
+
+import pytest
+
+from repro.bgp.errors import BgpError, CeaseSubcode, ErrorCode, UpdateSubcode, update_error
+from repro.bgp.fsm import Event, SessionFsm, State
+from repro.bgp.messages import (
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+)
+from repro.net.addr import IPv4Address
+
+LOCAL_ID = IPv4Address.parse("1.1.1.1")
+PEER_ID = IPv4Address.parse("2.2.2.2")
+
+
+class RecordingActions:
+    """Captures FSM side effects for assertions."""
+
+    def __init__(self):
+        self.sent = []
+        self.connects = 0
+        self.drops = 0
+        self.updates = []
+        self.ups = 0
+        self.downs = []
+
+    def send(self, message):
+        self.sent.append(message)
+
+    def start_connect(self):
+        self.connects += 1
+
+    def drop_connection(self):
+        self.drops += 1
+
+    def deliver_update(self, update):
+        self.updates.append(update)
+
+    def session_up(self):
+        self.ups += 1
+
+    def session_down(self, reason):
+        self.downs.append(reason)
+
+
+def make_fsm(hold_time=90.0):
+    actions = RecordingActions()
+    fsm = SessionFsm(65000, LOCAL_ID, actions, hold_time=hold_time)
+    return fsm, actions
+
+
+def establish(fsm, actions, now=0.0):
+    fsm.handle(Event.MANUAL_START, now=now)
+    fsm.handle(Event.TCP_CONNECTED, now=now)
+    fsm.handle_message(OpenMessage(65001, 90, PEER_ID), now=now)
+    fsm.handle_message(KeepaliveMessage(), now=now)
+
+
+class TestHappyPath:
+    def test_full_handshake(self):
+        fsm, actions = make_fsm()
+        assert fsm.state is State.IDLE
+
+        fsm.handle(Event.MANUAL_START)
+        assert fsm.state is State.CONNECT
+        assert actions.connects == 1
+
+        fsm.handle(Event.TCP_CONNECTED)
+        assert fsm.state is State.OPEN_SENT
+        assert isinstance(actions.sent[0], OpenMessage)
+        assert actions.sent[0].asn == 65000
+
+        fsm.handle_message(OpenMessage(65001, 90, PEER_ID))
+        assert fsm.state is State.OPEN_CONFIRM
+        assert isinstance(actions.sent[1], KeepaliveMessage)
+
+        fsm.handle_message(KeepaliveMessage())
+        assert fsm.state is State.ESTABLISHED
+        assert actions.ups == 1
+
+    def test_update_delivery_in_established(self):
+        fsm, actions = make_fsm()
+        establish(fsm, actions)
+        update = UpdateMessage()
+        fsm.handle_message(update)
+        assert actions.updates == [update]
+
+    def test_hold_time_negotiated_to_minimum(self):
+        fsm, actions = make_fsm(hold_time=90.0)
+        fsm.handle(Event.MANUAL_START)
+        fsm.handle(Event.TCP_CONNECTED)
+        fsm.handle_message(OpenMessage(65001, 30, PEER_ID))
+        assert fsm.timers.hold_time == 30.0
+        assert fsm.timers.keepalive_time == 10.0
+
+    def test_zero_hold_time_disables_timers(self):
+        fsm, actions = make_fsm(hold_time=0.0)
+        establish(fsm, actions)
+        assert fsm.timers.hold_deadline is None
+        assert fsm.timers.keepalive_deadline is None
+
+
+class TestTimers:
+    def test_hold_timer_expiry_tears_down(self):
+        fsm, actions = make_fsm(hold_time=90.0)
+        establish(fsm, actions, now=0.0)
+        fsm.tick(100.0)
+        assert fsm.state is State.IDLE
+        assert actions.downs and "hold timer" in actions.downs[0]
+        notification = actions.sent[-1]
+        assert isinstance(notification, NotificationMessage)
+        assert notification.code == ErrorCode.HOLD_TIMER_EXPIRED
+
+    def test_keepalive_timer_sends_keepalive(self):
+        fsm, actions = make_fsm(hold_time=90.0)
+        establish(fsm, actions, now=0.0)
+        sent_before = len(actions.sent)
+        fsm.tick(31.0)  # keepalive_time = 30
+        keepalives = [
+            m for m in actions.sent[sent_before:] if isinstance(m, KeepaliveMessage)
+        ]
+        assert len(keepalives) == 1
+        assert fsm.state is State.ESTABLISHED
+
+    def test_update_rearms_hold_timer(self):
+        fsm, actions = make_fsm(hold_time=90.0)
+        establish(fsm, actions, now=0.0)
+        fsm.handle_message(UpdateMessage(), now=50.0)
+        fsm.tick(95.0)  # would have expired without the update
+        assert fsm.state is State.ESTABLISHED
+
+    def test_connect_retry(self):
+        fsm, actions = make_fsm()
+        fsm.handle(Event.MANUAL_START, now=0.0)
+        fsm.handle(Event.TCP_FAILED, now=1.0)
+        assert fsm.state is State.ACTIVE
+        fsm.tick(200.0)
+        assert fsm.state is State.CONNECT
+        assert actions.connects == 2
+
+
+class TestTeardown:
+    def test_notification_received(self):
+        fsm, actions = make_fsm()
+        establish(fsm, actions)
+        fsm.handle_message(NotificationMessage(ErrorCode.CEASE, 2))
+        assert fsm.state is State.IDLE
+        assert actions.downs
+
+    def test_manual_stop_sends_cease(self):
+        fsm, actions = make_fsm()
+        establish(fsm, actions)
+        fsm.handle(Event.MANUAL_STOP)
+        assert fsm.state is State.IDLE
+        cease = actions.sent[-1]
+        assert isinstance(cease, NotificationMessage)
+        assert cease.code == ErrorCode.CEASE
+        assert cease.subcode == CeaseSubcode.ADMINISTRATIVE_SHUTDOWN
+
+    def test_tcp_failure_in_established(self):
+        fsm, actions = make_fsm()
+        establish(fsm, actions)
+        fsm.handle(Event.TCP_FAILED)
+        assert fsm.state is State.IDLE
+        assert actions.downs == ["transport failed"]
+
+    def test_notify_and_close_on_protocol_error(self):
+        fsm, actions = make_fsm()
+        establish(fsm, actions)
+        error = update_error(UpdateSubcode.MALFORMED_ATTRIBUTE_LIST, message="bad")
+        fsm.notify_and_close(error)
+        assert fsm.state is State.IDLE
+        notification = actions.sent[-1]
+        assert notification.code == ErrorCode.UPDATE_MESSAGE_ERROR
+
+    def test_connect_retry_counter_increments(self):
+        fsm, actions = make_fsm()
+        establish(fsm, actions)
+        assert fsm.connect_retry_counter == 0
+        fsm.handle(Event.TCP_FAILED)
+        assert fsm.connect_retry_counter == 1
+
+
+class TestFsmErrors:
+    def test_unexpected_update_in_open_sent(self):
+        fsm, actions = make_fsm()
+        fsm.handle(Event.MANUAL_START)
+        fsm.handle(Event.TCP_CONNECTED)
+        fsm.handle_message(UpdateMessage())
+        assert fsm.state is State.IDLE
+        notification = actions.sent[-1]
+        assert notification.code == ErrorCode.FSM_ERROR
+
+    def test_stale_timer_noise_ignored(self):
+        fsm, actions = make_fsm()
+        establish(fsm, actions)
+        fsm.handle(Event.CONNECT_RETRY_EXPIRES)
+        assert fsm.state is State.ESTABLISHED
+
+    def test_manual_start_in_established_ignored(self):
+        fsm, actions = make_fsm()
+        establish(fsm, actions)
+        fsm.handle(Event.MANUAL_START)
+        assert fsm.state is State.ESTABLISHED
+
+    def test_open_in_idle_is_noop(self):
+        fsm, actions = make_fsm()
+        fsm.handle_message(OpenMessage(65001, 90, PEER_ID))
+        assert fsm.state is State.IDLE
+        assert not actions.sent

@@ -1,0 +1,136 @@
+"""Tests for iBGP semantics: split horizon, attribute handling."""
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.messages import (
+    KeepaliveMessage,
+    OpenMessage,
+    UpdateMessage,
+    decode_message,
+)
+from repro.bgp.speaker import BgpSpeaker, PeerConfig, SpeakerConfig
+from repro.net.addr import IPv4Address, Prefix
+
+ROUTER_AS = 65000
+P1 = Prefix.parse("192.0.2.0/24")
+
+EXT = "ext"              # eBGP neighbour in AS 65001
+EXT_AS = 65001
+EXT_ADDR = IPv4Address.parse("10.0.1.1")
+IBGP_A, IBGP_B = "ibgp-a", "ibgp-b"   # internal peers, same AS
+IBGP_A_ADDR = IPv4Address.parse("10.1.0.1")
+IBGP_B_ADDR = IPv4Address.parse("10.1.0.2")
+
+
+def make_router():
+    return BgpSpeaker(
+        SpeakerConfig(
+            asn=ROUTER_AS,
+            bgp_identifier=IPv4Address.parse("9.9.9.9"),
+            local_address=IPv4Address.parse("10.0.0.254"),
+            hold_time=0.0,
+        )
+    )
+
+
+def connect(router, peer_id, asn, addr, bgp_id):
+    router.add_peer(PeerConfig(peer_id, asn, addr))
+    outbox = []
+    router.set_send_callback(peer_id, outbox.append)
+    router.start_peer(peer_id)
+    router.transport_connected(peer_id)
+    router.receive_bytes(peer_id, OpenMessage(asn, 0, bgp_id).encode())
+    router.receive_bytes(peer_id, KeepaliveMessage().encode())
+    assert router.peers[peer_id].established
+    return outbox
+
+
+def announce(router, peer_id, prefixes, attrs):
+    router.receive_bytes(
+        peer_id, UpdateMessage(attributes=attrs, nlri=tuple(prefixes)).encode()
+    )
+
+
+class TestSplitHorizon:
+    def setup_triangle(self):
+        router = make_router()
+        connect(router, EXT, EXT_AS, EXT_ADDR, IPv4Address.parse("1.1.1.1"))
+        connect(router, IBGP_A, ROUTER_AS, IBGP_A_ADDR, IPv4Address.parse("2.2.2.2"))
+        connect(router, IBGP_B, ROUTER_AS, IBGP_B_ADDR, IPv4Address.parse("3.3.3.3"))
+        return router
+
+    def test_ibgp_peers_recognised(self):
+        router = self.setup_triangle()
+        assert router.peers[EXT].is_ebgp
+        assert not router.peers[IBGP_A].is_ebgp
+        assert not router.peers[IBGP_B].is_ebgp
+
+    def test_ebgp_route_goes_to_all_peers(self):
+        router = self.setup_triangle()
+        attrs = PathAttributes(as_path=AsPath.from_asns([EXT_AS, 300]), next_hop=EXT_ADDR)
+        announce(router, EXT, [P1], attrs)
+        assert router.flush_updates(IBGP_A)
+        assert router.flush_updates(IBGP_B)
+        assert router.flush_updates(EXT) == []  # not back to the source
+
+    def test_ibgp_route_not_reflected_to_ibgp(self):
+        router = self.setup_triangle()
+        # Route learned over iBGP (LOCAL_PREF present, own-AS path empty
+        # of externals is fine for iBGP).
+        attrs = PathAttributes(
+            as_path=AsPath.from_asns([65009]),
+            next_hop=IBGP_A_ADDR,
+            local_pref=200,
+        )
+        announce(router, IBGP_A, [P1], attrs)
+        assert len(router.loc_rib) == 1
+        # Split horizon: other iBGP peer gets nothing...
+        assert router.flush_updates(IBGP_B) == []
+        # ...but the eBGP peer does.
+        packets = router.flush_updates(EXT)
+        assert len(packets) == 1
+
+    def test_ibgp_export_preserves_local_pref_and_path(self):
+        router = self.setup_triangle()
+        attrs = PathAttributes(as_path=AsPath.from_asns([EXT_AS, 300]), next_hop=EXT_ADDR)
+        announce(router, EXT, [P1], attrs)
+        packets = router.flush_updates(IBGP_A)
+        update = decode_message(packets[0])
+        # iBGP export: no AS prepend, next hop preserved (no
+        # next-hop-self in this implementation's iBGP path).
+        assert update.attributes.as_path.all_asns() == (EXT_AS, 300)
+
+    def test_ebgp_export_prepends_and_strips_local_pref(self):
+        router = self.setup_triangle()
+        attrs = PathAttributes(
+            as_path=AsPath.from_asns([65009]), next_hop=IBGP_A_ADDR, local_pref=200
+        )
+        announce(router, IBGP_A, [P1], attrs)
+        packets = router.flush_updates(EXT)
+        update = decode_message(packets[0])
+        assert update.attributes.as_path.all_asns() == (ROUTER_AS, 65009)
+        assert update.attributes.local_pref is None
+        assert update.attributes.next_hop == router.config.local_address
+
+    def test_local_route_advertised_to_everyone(self):
+        router = self.setup_triangle()
+        router.originate(P1)
+        for peer_id in (EXT, IBGP_A, IBGP_B):
+            assert router.flush_updates(peer_id), peer_id
+
+    def test_ibgp_local_pref_drives_decision(self):
+        router = self.setup_triangle()
+        # eBGP route with a shorter path but default LOCAL_PREF...
+        announce(
+            router, EXT, [P1],
+            PathAttributes(as_path=AsPath.from_asns([EXT_AS]), next_hop=EXT_ADDR),
+        )
+        # ...loses to the iBGP route with LOCAL_PREF 200.
+        announce(
+            router, IBGP_A, [P1],
+            PathAttributes(
+                as_path=AsPath.from_asns([65009, 65010, 65011]),
+                next_hop=IBGP_A_ADDR,
+                local_pref=200,
+            ),
+        )
+        assert router.loc_rib.get(P1).peer_id == IBGP_A

@@ -1,0 +1,180 @@
+"""Interop: two complete BgpSpeakers wired back-to-back.
+
+Every other test drives one speaker with crafted bytes; here both ends
+are our own implementation, so the encoder of one must satisfy the
+decoder and FSM of the other — OPEN negotiation, keepalives, table
+exchange, withdrawals, and propagation through a middle router.
+"""
+
+import pytest
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.fsm import Event
+from repro.bgp.speaker import BgpSpeaker, PeerConfig, SpeakerConfig
+from repro.forwarding.fib import Fib
+from repro.net.addr import IPv4Address, Prefix
+
+
+class Wire:
+    """An in-memory duplex link between two speakers' peer sessions."""
+
+    def __init__(self, left: BgpSpeaker, left_peer: str, right: BgpSpeaker, right_peer: str):
+        self.queues: list[tuple[BgpSpeaker, str, bytes]] = []
+        left.set_send_callback(left_peer, lambda data: self.queues.append((right, right_peer, data)))
+        right.set_send_callback(right_peer, lambda data: self.queues.append((left, left_peer, data)))
+
+    def pump(self, limit: int = 10_000) -> int:
+        """Deliver queued bytes until quiescent; returns deliveries."""
+        delivered = 0
+        while self.queues:
+            if delivered >= limit:
+                raise RuntimeError("wire did not quiesce")
+            receiver, peer_id, data = self.queues.pop(0)
+            receiver.receive_bytes(peer_id, data)
+            delivered += 1
+        return delivered
+
+
+def speaker(asn, ident, addr):
+    return BgpSpeaker(
+        SpeakerConfig(
+            asn=asn,
+            bgp_identifier=IPv4Address.parse(ident),
+            local_address=IPv4Address.parse(addr),
+            hold_time=0.0,
+        ),
+        fib=Fib(),
+    )
+
+
+def establish(left, left_peer, right, right_peer) -> Wire:
+    wire = Wire(left, left_peer, right, right_peer)
+    left.start_peer(left_peer)
+    right.start_peer(right_peer)
+    # The harness confirms the TCP connection on both ends; OPENs and
+    # KEEPALIVEs then flow over the wire itself.
+    left.transport_connected(left_peer)
+    right.transport_connected(right_peer)
+    wire.pump()
+    assert left.peers[left_peer].established
+    assert right.peers[right_peer].established
+    return wire
+
+
+P1 = Prefix.parse("192.0.2.0/24")
+P2 = Prefix.parse("198.51.100.0/24")
+
+
+class TestTwoSpeakers:
+    def setup_pair(self):
+        a = speaker(65001, "1.1.1.1", "10.0.0.1")
+        b = speaker(65002, "2.2.2.2", "10.0.0.2")
+        a.add_peer(PeerConfig("to-b", 65002, IPv4Address.parse("10.0.0.2")))
+        b.add_peer(PeerConfig("to-a", 65001, IPv4Address.parse("10.0.0.1")))
+        wire = establish(a, "to-b", b, "to-a")
+        return a, b, wire
+
+    def test_session_comes_up_both_sides(self):
+        a, b, _wire = self.setup_pair()
+        assert a.session_events() == [("to-b", "up")]
+        assert b.session_events() == [("to-a", "up")]
+
+    def test_originated_route_propagates(self):
+        a, b, wire = self.setup_pair()
+        a.originate(P1)
+        for packet in a.flush_updates("to-b"):
+            pass  # flush_updates already sent via the callback
+        wire.pump()
+        assert P1 in b.loc_rib
+        route = b.loc_rib.get(P1)
+        assert route.attributes.as_path.all_asns() == (65001,)
+        assert b.fib.next_hop_for(P1) == a.config.local_address
+
+    def test_withdrawal_propagates(self):
+        a, b, wire = self.setup_pair()
+        a.originate(P1)
+        a.flush_updates("to-b")
+        wire.pump()
+        a.withdraw_local(P1)
+        a.flush_updates("to-b")
+        wire.pump()
+        assert P1 not in b.loc_rib
+        assert len(b.fib) == 0
+
+    def test_bidirectional_exchange(self):
+        a, b, wire = self.setup_pair()
+        a.originate(P1)
+        b.originate(P2)
+        a.flush_updates("to-b")
+        b.flush_updates("to-a")
+        wire.pump()
+        assert P2 in a.loc_rib
+        assert P1 in b.loc_rib
+
+    def test_as_mismatch_refused(self):
+        a = speaker(65001, "1.1.1.1", "10.0.0.1")
+        b = speaker(65009, "2.2.2.2", "10.0.0.2")  # not the AS a expects
+        a.add_peer(PeerConfig("to-b", 65002, IPv4Address.parse("10.0.0.2")))
+        b.add_peer(PeerConfig("to-a", 65001, IPv4Address.parse("10.0.0.1")))
+        wire = Wire(a, "to-b", b, "to-a")
+        a.start_peer("to-b")
+        b.start_peer("to-a")
+        a.transport_connected("to-b")
+        b.transport_connected("to-a")
+        wire.pump()
+        assert not a.peers["to-b"].established
+
+
+class TestThreeSpeakerChain:
+    """origin -- transit -- sink: routes must traverse a real middle
+    speaker with AS prepending at each eBGP hop."""
+
+    def setup_chain(self):
+        origin = speaker(65001, "1.1.1.1", "10.0.1.1")
+        transit = speaker(65002, "2.2.2.2", "10.0.2.1")
+        sink = speaker(65003, "3.3.3.3", "10.0.3.1")
+        origin.add_peer(PeerConfig("to-transit", 65002, IPv4Address.parse("10.0.2.1")))
+        transit.add_peer(PeerConfig("to-origin", 65001, IPv4Address.parse("10.0.1.1")))
+        transit.add_peer(PeerConfig("to-sink", 65003, IPv4Address.parse("10.0.3.1")))
+        sink.add_peer(PeerConfig("to-transit", 65002, IPv4Address.parse("10.0.2.1")))
+        wire1 = establish(origin, "to-transit", transit, "to-origin")
+        wire2 = establish(transit, "to-sink", sink, "to-transit")
+        return origin, transit, sink, wire1, wire2
+
+    def pump_all(self, origin, transit, sink, wire1, wire2):
+        for _ in range(6):
+            for s in (origin, transit, sink):
+                for peer_id in s.peers:
+                    s.flush_updates(peer_id)
+            wire1.pump()
+            wire2.pump()
+
+    def test_route_traverses_transit(self):
+        origin, transit, sink, wire1, wire2 = self.setup_chain()
+        origin.originate(P1)
+        self.pump_all(origin, transit, sink, wire1, wire2)
+        assert P1 in transit.loc_rib
+        assert P1 in sink.loc_rib
+        path = sink.loc_rib.get(P1).attributes.as_path.all_asns()
+        assert path == (65002, 65001)
+        # Next hop rewritten at each eBGP hop: sink forwards to transit.
+        assert sink.fib.next_hop_for(P1) == transit.config.local_address
+
+    def test_withdrawal_traverses_transit(self):
+        origin, transit, sink, wire1, wire2 = self.setup_chain()
+        origin.originate(P1)
+        self.pump_all(origin, transit, sink, wire1, wire2)
+        origin.withdraw_local(P1)
+        self.pump_all(origin, transit, sink, wire1, wire2)
+        assert P1 not in transit.loc_rib
+        assert P1 not in sink.loc_rib
+
+    def test_loop_prevention_at_origin(self):
+        """The route must not come back to the origin (its own AS is in
+        the path)."""
+        origin, transit, sink, wire1, wire2 = self.setup_chain()
+        origin.originate(P1)
+        self.pump_all(origin, transit, sink, wire1, wire2)
+        # The origin's Loc-RIB entry is its own local route, not a
+        # learned copy via transit.
+        assert origin.loc_rib.get(P1).peer_id == "<local>"

@@ -1,0 +1,227 @@
+"""Unit tests for the BGP message codec and stream framing."""
+
+import pytest
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.errors import BgpError, ErrorCode, HeaderSubcode
+from repro.bgp.messages import (
+    HEADER_LEN,
+    MARKER,
+    MAX_MESSAGE_LEN,
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+    decode_message,
+    decode_nlri,
+    encode_nlri,
+    iter_messages,
+)
+from repro.net.addr import IPv4Address, Prefix
+
+NH = IPv4Address.parse("10.0.0.1")
+ATTRS = PathAttributes(as_path=AsPath.from_asns([65001]), next_hop=NH)
+
+
+class TestNlri:
+    def test_round_trip_mixed_lengths(self):
+        prefixes = [
+            Prefix.parse("0.0.0.0/0"),
+            Prefix.parse("10.0.0.0/8"),
+            Prefix.parse("10.128.0.0/9"),
+            Prefix.parse("192.0.2.0/24"),
+            Prefix.parse("192.0.2.1/32"),
+        ]
+        assert decode_nlri(encode_nlri(prefixes)) == prefixes
+
+    def test_minimal_byte_packing(self):
+        # /8 needs 1 byte, /24 needs 3, /32 needs 4, /0 needs 0.
+        assert len(encode_nlri([Prefix.parse("10.0.0.0/8")])) == 2
+        assert len(encode_nlri([Prefix.parse("192.0.2.0/24")])) == 4
+        assert len(encode_nlri([Prefix.parse("192.0.2.1/32")])) == 5
+        assert len(encode_nlri([Prefix.parse("0.0.0.0/0")])) == 1
+
+    def test_decode_rejects_length_over_32(self):
+        with pytest.raises(BgpError):
+            decode_nlri(b"\x21\x0a\x00\x00\x00\x01")
+
+    def test_decode_rejects_truncation(self):
+        with pytest.raises(BgpError):
+            decode_nlri(b"\x18\x0a\x00")
+
+    def test_decode_rejects_host_bits(self):
+        # /8 prefix with bits beyond the mask set in its single byte? Not
+        # possible in one byte; use /9 with low bit of second byte set.
+        with pytest.raises(BgpError):
+            decode_nlri(b"\x09\x0a\x40")
+
+
+class TestOpenMessage:
+    def test_round_trip(self):
+        msg = OpenMessage(65001, 90, IPv4Address.parse("1.2.3.4"), b"\x01\x02")
+        decoded = decode_message(msg.encode())
+        assert decoded == msg
+
+    def test_hold_time_zero_allowed(self):
+        msg = OpenMessage(65001, 0, IPv4Address.parse("1.2.3.4"))
+        assert decode_message(msg.encode()).hold_time == 0
+
+    def test_rejects_hold_time_one_and_two(self):
+        for hold in (1, 2):
+            wire = OpenMessage(65001, hold, IPv4Address.parse("1.2.3.4")).encode()
+            with pytest.raises(BgpError):
+                decode_message(wire)
+
+    def test_rejects_as_zero(self):
+        wire = bytearray(OpenMessage(65001, 90, IPv4Address.parse("1.2.3.4")).encode())
+        wire[HEADER_LEN + 1 : HEADER_LEN + 3] = b"\x00\x00"
+        with pytest.raises(BgpError):
+            decode_message(bytes(wire))
+
+    def test_rejects_identifier_zero(self):
+        wire = bytearray(OpenMessage(65001, 90, IPv4Address.parse("1.2.3.4")).encode())
+        wire[HEADER_LEN + 5 : HEADER_LEN + 9] = b"\x00" * 4
+        with pytest.raises(BgpError):
+            decode_message(bytes(wire))
+
+    def test_rejects_wrong_version(self):
+        wire = bytearray(OpenMessage(65001, 90, IPv4Address.parse("1.2.3.4")).encode())
+        wire[HEADER_LEN] = 3
+        with pytest.raises(BgpError):
+            decode_message(bytes(wire))
+
+    def test_rejects_optional_parameter_mismatch(self):
+        wire = bytearray(OpenMessage(65001, 90, IPv4Address.parse("1.2.3.4")).encode())
+        wire[HEADER_LEN + 9] = 5  # claims 5 bytes of options, has none
+        with pytest.raises(BgpError):
+            decode_message(bytes(wire))
+
+    def test_encode_validates_asn(self):
+        with pytest.raises(ValueError):
+            OpenMessage(0, 90, IPv4Address.parse("1.2.3.4")).encode()
+        with pytest.raises(ValueError):
+            OpenMessage(70000, 90, IPv4Address.parse("1.2.3.4")).encode()
+
+
+class TestUpdateMessage:
+    def test_announce_round_trip(self):
+        msg = UpdateMessage(
+            attributes=ATTRS,
+            nlri=(Prefix.parse("192.0.2.0/24"), Prefix.parse("198.51.100.0/24")),
+        )
+        assert decode_message(msg.encode()) == msg
+
+    def test_withdraw_round_trip(self):
+        msg = UpdateMessage(withdrawn=(Prefix.parse("192.0.2.0/24"),))
+        assert decode_message(msg.encode()) == msg
+
+    def test_mixed_round_trip(self):
+        msg = UpdateMessage(
+            withdrawn=(Prefix.parse("203.0.113.0/24"),),
+            attributes=ATTRS,
+            nlri=(Prefix.parse("192.0.2.0/24"),),
+        )
+        assert decode_message(msg.encode()) == msg
+
+    def test_empty_update(self):
+        msg = UpdateMessage()
+        decoded = decode_message(msg.encode())
+        assert decoded.withdrawn == () and decoded.nlri == ()
+        assert decoded.attributes is None
+
+    def test_nlri_without_attributes_rejected_on_encode(self):
+        with pytest.raises(ValueError):
+            UpdateMessage(nlri=(Prefix.parse("192.0.2.0/24"),)).encode()
+
+    def test_transaction_count(self):
+        msg = UpdateMessage(
+            withdrawn=(Prefix.parse("203.0.113.0/24"),),
+            attributes=ATTRS,
+            nlri=(Prefix.parse("192.0.2.0/24"), Prefix.parse("198.51.100.0/24")),
+        )
+        assert msg.transaction_count() == 3
+
+    def test_routes(self):
+        msg = UpdateMessage(attributes=ATTRS, nlri=(Prefix.parse("192.0.2.0/24"),))
+        routes = msg.routes()
+        assert len(routes) == 1
+        assert routes[0].prefix == Prefix.parse("192.0.2.0/24")
+        assert routes[0].attributes == ATTRS
+
+    def test_500_prefix_update_fits(self):
+        prefixes = tuple(
+            Prefix.parse(f"{10 + i // 256}.{i % 256}.0.0/24") for i in range(500)
+        )
+        wire = UpdateMessage(attributes=ATTRS, nlri=prefixes).encode()
+        assert len(wire) <= MAX_MESSAGE_LEN
+        assert decode_message(wire).nlri == prefixes
+
+    def test_withdrawn_overrun_rejected(self):
+        msg = UpdateMessage(withdrawn=(Prefix.parse("192.0.2.0/24"),)).encode()
+        wire = bytearray(msg)
+        wire[HEADER_LEN : HEADER_LEN + 2] = (200).to_bytes(2, "big")
+        with pytest.raises(BgpError):
+            decode_message(bytes(wire))
+
+
+class TestKeepaliveAndNotification:
+    def test_keepalive_round_trip(self):
+        assert decode_message(KeepaliveMessage().encode()) == KeepaliveMessage()
+
+    def test_keepalive_with_body_rejected(self):
+        wire = bytearray(KeepaliveMessage().encode())
+        wire[16:18] = (HEADER_LEN + 1).to_bytes(2, "big")
+        wire.append(0)
+        with pytest.raises(BgpError):
+            decode_message(bytes(wire))
+
+    def test_notification_round_trip(self):
+        msg = NotificationMessage(ErrorCode.CEASE, 2, b"bye")
+        assert decode_message(msg.encode()) == msg
+
+
+class TestFraming:
+    def test_bad_marker(self):
+        wire = bytearray(KeepaliveMessage().encode())
+        wire[0] = 0
+        with pytest.raises(BgpError) as excinfo:
+            decode_message(bytes(wire))
+        assert excinfo.value.notification.subcode == HeaderSubcode.CONNECTION_NOT_SYNCHRONIZED
+
+    def test_bad_type(self):
+        wire = bytearray(KeepaliveMessage().encode())
+        wire[18] = 9
+        with pytest.raises(BgpError) as excinfo:
+            decode_message(bytes(wire))
+        assert excinfo.value.notification.subcode == HeaderSubcode.BAD_MESSAGE_TYPE
+
+    def test_truncated_body(self):
+        wire = OpenMessage(65001, 90, IPv4Address.parse("1.2.3.4")).encode()
+        with pytest.raises(BgpError):
+            decode_message(wire[:-2])
+
+    def test_trailing_bytes_rejected(self):
+        wire = KeepaliveMessage().encode() + b"\x00"
+        with pytest.raises(BgpError):
+            decode_message(wire)
+
+    def test_iter_messages_splits_stream(self):
+        stream = (
+            OpenMessage(65001, 90, IPv4Address.parse("1.2.3.4")).encode()
+            + KeepaliveMessage().encode()
+            + UpdateMessage(attributes=ATTRS, nlri=(Prefix.parse("192.0.2.0/24"),)).encode()
+        )
+        messages = [m for m, _length in iter_messages(stream)]
+        assert len(messages) == 3
+        assert isinstance(messages[0], OpenMessage)
+        assert isinstance(messages[1], KeepaliveMessage)
+        assert isinstance(messages[2], UpdateMessage)
+
+    def test_iter_messages_reports_lengths(self):
+        keepalive = KeepaliveMessage().encode()
+        lengths = [length for _m, length in iter_messages(keepalive * 3)]
+        assert lengths == [HEADER_LEN] * 3
+
+    def test_marker_constant(self):
+        assert MARKER == b"\xff" * 16
+        assert len(MARKER) == 16

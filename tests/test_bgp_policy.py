@@ -1,0 +1,166 @@
+"""Unit tests for the route-policy engine."""
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.policy import (
+    ACCEPT_ALL,
+    REJECT_ALL,
+    Action,
+    Match,
+    Policy,
+    PolicyResult,
+    PrefixMatch,
+    Rule,
+)
+from repro.net.addr import IPv4Address, Prefix
+
+NH = IPv4Address.parse("10.0.0.1")
+P24 = Prefix.parse("10.1.2.0/24")
+
+
+def attrs(path=(65001, 65002), communities=(), local_pref=None, med=None):
+    return PathAttributes(
+        as_path=AsPath.from_asns(list(path)),
+        next_hop=NH,
+        communities=communities,
+        local_pref=local_pref,
+        med=med,
+    )
+
+
+class TestPrefixMatch:
+    def test_exact_only_by_default(self):
+        pm = PrefixMatch(Prefix.parse("10.0.0.0/8"))
+        assert pm.matches(Prefix.parse("10.0.0.0/8"))
+        assert not pm.matches(Prefix.parse("10.1.0.0/16"))
+
+    def test_ge_le_window(self):
+        pm = PrefixMatch(Prefix.parse("10.0.0.0/8"), ge=16, le=24)
+        assert pm.matches(Prefix.parse("10.1.0.0/16"))
+        assert pm.matches(P24)
+        assert not pm.matches(Prefix.parse("10.0.0.0/8"))
+        assert not pm.matches(Prefix.parse("10.1.2.128/25"))
+
+    def test_ge_without_le_extends_to_32(self):
+        pm = PrefixMatch(Prefix.parse("10.0.0.0/8"), ge=31)
+        assert pm.matches(Prefix.parse("10.0.0.2/31"))
+        assert pm.matches(Prefix.parse("10.0.0.1/32"))
+        assert not pm.matches(Prefix.parse("10.0.0.0/30"))
+
+    def test_le_without_ge(self):
+        pm = PrefixMatch(Prefix.parse("10.0.0.0/8"), le=16)
+        assert pm.matches(Prefix.parse("10.0.0.0/8"))
+        assert pm.matches(Prefix.parse("10.1.0.0/16"))
+        assert not pm.matches(P24)
+
+    def test_outside_covering_prefix(self):
+        pm = PrefixMatch(Prefix.parse("10.0.0.0/8"), ge=0, le=32)
+        assert not pm.matches(Prefix.parse("11.0.0.0/24"))
+
+
+class TestMatch:
+    def test_empty_match_matches_all(self):
+        assert Match().matches(P24, attrs())
+
+    def test_as_in_path(self):
+        m = Match(as_in_path=65002)
+        assert m.matches(P24, attrs(path=(65001, 65002)))
+        assert not m.matches(P24, attrs(path=(65001, 65003)))
+
+    def test_origin_as(self):
+        m = Match(origin_as=65002)
+        assert m.matches(P24, attrs(path=(65001, 65002)))
+        assert not m.matches(P24, attrs(path=(65002, 65001)))
+
+    def test_community(self):
+        m = Match(community=0xFFFF0001)
+        assert m.matches(P24, attrs(communities=(0xFFFF0001,)))
+        assert not m.matches(P24, attrs())
+
+    def test_max_path_length(self):
+        m = Match(max_path_length=2)
+        assert m.matches(P24, attrs(path=(1, 2)))
+        assert not m.matches(P24, attrs(path=(1, 2, 3)))
+
+    def test_conjunction(self):
+        m = Match(prefixes=(PrefixMatch(Prefix.parse("10.0.0.0/8"), ge=8, le=32),),
+                  as_in_path=65001, max_path_length=3)
+        assert m.matches(P24, attrs(path=(65001, 2)))
+        assert not m.matches(P24, attrs(path=(65009, 2)))
+        assert not m.matches(Prefix.parse("11.0.0.0/24"), attrs(path=(65001, 2)))
+
+
+class TestAction:
+    def test_set_local_pref(self):
+        out = Action(set_local_pref=250).apply(attrs())
+        assert out.local_pref == 250
+
+    def test_set_med(self):
+        out = Action(set_med=30).apply(attrs())
+        assert out.med == 30
+
+    def test_prepend(self):
+        out = Action(prepend_as=65000, prepend_count=2).apply(attrs(path=(65001,)))
+        assert out.as_path.all_asns() == (65000, 65000, 65001)
+
+    def test_add_community(self):
+        out = Action(add_community=123).apply(attrs(communities=(9,)))
+        assert out.communities == (9, 123)
+
+    def test_add_community_idempotent(self):
+        out = Action(add_community=9).apply(attrs(communities=(9,)))
+        assert out.communities == (9,)
+
+    def test_strip_communities(self):
+        out = Action(strip_communities=True).apply(attrs(communities=(1, 2)))
+        assert out.communities == ()
+
+    def test_strip_then_add(self):
+        out = Action(strip_communities=True, add_community=7).apply(
+            attrs(communities=(1, 2))
+        )
+        assert out.communities == (7,)
+
+    def test_noop_action_returns_equal_attributes(self):
+        original = attrs()
+        assert Action().apply(original) == original
+
+
+class TestPolicy:
+    def test_accept_all(self):
+        assert ACCEPT_ALL.apply(P24, attrs()) == attrs()
+
+    def test_reject_all(self):
+        assert REJECT_ALL.apply(P24, attrs()) is None
+
+    def test_first_match_wins(self):
+        policy = Policy([
+            Rule(Match(as_in_path=65001), PolicyResult.ACCEPT, Action(set_local_pref=200)),
+            Rule(Match(), PolicyResult.ACCEPT, Action(set_local_pref=50)),
+        ])
+        assert policy.apply(P24, attrs(path=(65001,))).local_pref == 200
+        assert policy.apply(P24, attrs(path=(65009,))).local_pref == 50
+
+    def test_reject_rule(self):
+        policy = Policy([
+            Rule(Match(as_in_path=666), PolicyResult.REJECT),
+        ])
+        assert policy.apply(P24, attrs(path=(666, 1))) is None
+        assert policy.apply(P24, attrs(path=(1, 2))) == attrs(path=(1, 2))
+
+    def test_default_reject(self):
+        policy = Policy(
+            [Rule(Match(as_in_path=65001), PolicyResult.ACCEPT)],
+            default=PolicyResult.REJECT,
+        )
+        assert policy.apply(P24, attrs(path=(65001,))) is not None
+        assert policy.apply(P24, attrs(path=(65002,))) is None
+
+    def test_evaluation_counter(self):
+        policy = Policy([
+            Rule(Match(as_in_path=1)),
+            Rule(Match(as_in_path=2)),
+        ])
+        policy.apply(P24, attrs(path=(2,)))
+        assert policy.evaluations == 2
+        policy.apply(P24, attrs(path=(9,)))
+        assert policy.evaluations == 5  # 2 rules + default

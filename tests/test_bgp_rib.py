@@ -1,0 +1,165 @@
+"""Unit tests for the three RIB structures."""
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.rib import AdjRibIn, AdjRibOut, LocRib, RibRoute, RouteChange
+from repro.net.addr import IPv4Address, Prefix
+
+P1 = Prefix.parse("192.0.2.0/24")
+P2 = Prefix.parse("198.51.100.0/24")
+NH = IPv4Address.parse("10.0.0.1")
+A1 = PathAttributes(as_path=AsPath.from_asns([65001]), next_hop=NH)
+A2 = PathAttributes(as_path=AsPath.from_asns([65001, 65002]), next_hop=NH)
+
+
+class TestAdjRibIn:
+    def test_add_new(self):
+        rib = AdjRibIn("peer1")
+        assert rib.update(P1, A1) is RouteChange.ADDED
+        assert rib.get(P1) == A1
+        assert len(rib) == 1
+        assert P1 in rib
+
+    def test_implicit_withdraw_replaces(self):
+        rib = AdjRibIn("peer1")
+        rib.update(P1, A1)
+        assert rib.update(P1, A2) is RouteChange.REPLACED
+        assert rib.get(P1) == A2
+        assert len(rib) == 1
+
+    def test_identical_announcement_unchanged(self):
+        rib = AdjRibIn("peer1")
+        rib.update(P1, A1)
+        assert rib.update(P1, A1) is RouteChange.UNCHANGED
+
+    def test_withdraw(self):
+        rib = AdjRibIn("peer1")
+        rib.update(P1, A1)
+        assert rib.withdraw(P1) is RouteChange.REMOVED
+        assert rib.get(P1) is None
+        assert len(rib) == 0
+
+    def test_withdraw_absent(self):
+        rib = AdjRibIn("peer1")
+        assert rib.withdraw(P1) is RouteChange.ABSENT
+
+    def test_clear(self):
+        rib = AdjRibIn("peer1")
+        rib.update(P1, A1)
+        rib.update(P2, A2)
+        assert rib.clear() == 2
+        assert len(rib) == 0
+
+    def test_iteration(self):
+        rib = AdjRibIn("peer1")
+        rib.update(P1, A1)
+        rib.update(P2, A2)
+        assert set(rib.prefixes()) == {P1, P2}
+        assert dict(rib.items()) == {P1: A1, P2: A2}
+
+
+class TestLocRib:
+    def test_set_best_add(self):
+        rib = LocRib()
+        route = RibRoute(P1, A1, "peer1")
+        assert rib.set_best(route) is RouteChange.ADDED
+        assert rib.get(P1) == route
+        assert P1 in rib
+
+    def test_set_best_replace(self):
+        rib = LocRib()
+        rib.set_best(RibRoute(P1, A1, "peer1"))
+        assert rib.set_best(RibRoute(P1, A2, "peer2")) is RouteChange.REPLACED
+        assert rib.get(P1).peer_id == "peer2"
+
+    def test_set_best_unchanged(self):
+        rib = LocRib()
+        rib.set_best(RibRoute(P1, A1, "peer1"))
+        assert rib.set_best(RibRoute(P1, A1, "peer1")) is RouteChange.UNCHANGED
+
+    def test_source_change_with_same_attributes_is_replace(self):
+        rib = LocRib()
+        rib.set_best(RibRoute(P1, A1, "peer1"))
+        assert rib.set_best(RibRoute(P1, A1, "peer2")) is RouteChange.REPLACED
+
+    def test_remove(self):
+        rib = LocRib()
+        rib.set_best(RibRoute(P1, A1, "peer1"))
+        assert rib.remove(P1) is RouteChange.REMOVED
+        assert rib.remove(P1) is RouteChange.ABSENT
+        assert len(rib) == 0
+
+    def test_routes_iteration(self):
+        rib = LocRib()
+        rib.set_best(RibRoute(P1, A1, "peer1"))
+        rib.set_best(RibRoute(P2, A2, "peer1"))
+        assert {r.prefix for r in rib.routes()} == {P1, P2}
+
+
+class TestAdjRibOut:
+    def test_stage_and_take(self):
+        rib = AdjRibOut("peer1")
+        assert rib.stage(P1, A1) is RouteChange.ADDED
+        assert rib.has_pending()
+        announce, withdraw = rib.take_pending()
+        assert announce == {P1: A1}
+        assert withdraw == set()
+        assert not rib.has_pending()
+
+    def test_stage_identical_is_unchanged(self):
+        rib = AdjRibOut("peer1")
+        rib.stage(P1, A1)
+        rib.take_pending()
+        assert rib.stage(P1, A1) is RouteChange.UNCHANGED
+        assert not rib.has_pending()
+
+    def test_stage_new_attributes_is_replace(self):
+        rib = AdjRibOut("peer1")
+        rib.stage(P1, A1)
+        rib.take_pending()
+        assert rib.stage(P1, A2) is RouteChange.REPLACED
+        announce, _ = rib.take_pending()
+        assert announce == {P1: A2}
+
+    def test_withdraw_advertised(self):
+        rib = AdjRibOut("peer1")
+        rib.stage(P1, A1)
+        rib.take_pending()
+        assert rib.stage_withdraw(P1) is RouteChange.REMOVED
+        announce, withdraw = rib.take_pending()
+        assert announce == {}
+        assert withdraw == {P1}
+        assert rib.advertised(P1) is None
+
+    def test_withdraw_never_advertised(self):
+        rib = AdjRibOut("peer1")
+        assert rib.stage_withdraw(P1) is RouteChange.ABSENT
+        assert not rib.has_pending()
+
+    def test_announce_then_withdraw_before_flush_cancels(self):
+        rib = AdjRibOut("peer1")
+        rib.stage(P1, A1)
+        rib.stage_withdraw(P1)
+        announce, withdraw = rib.take_pending()
+        assert announce == {}
+        # The prefix was advertised (staged) then withdrawn: the
+        # withdrawal must be emitted because stage() recorded it as
+        # advertised state.
+        assert withdraw == {P1}
+
+    def test_withdraw_then_reannounce_before_flush(self):
+        rib = AdjRibOut("peer1")
+        rib.stage(P1, A1)
+        rib.take_pending()
+        rib.stage_withdraw(P1)
+        rib.stage(P1, A2)
+        announce, withdraw = rib.take_pending()
+        assert announce == {P1: A2}
+        assert withdraw == set()
+
+    def test_len_tracks_advertised(self):
+        rib = AdjRibOut("peer1")
+        rib.stage(P1, A1)
+        rib.stage(P2, A2)
+        assert len(rib) == 2
+        rib.stage_withdraw(P1)
+        assert len(rib) == 1

@@ -1,0 +1,183 @@
+"""Integration tests: flap damping and MRAI wired into the speaker."""
+
+import pytest
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.damping import DampingConfig
+from repro.bgp.messages import KeepaliveMessage, OpenMessage, UpdateMessage, decode_message
+from repro.bgp.speaker import BgpSpeaker, PeerConfig, SpeakerConfig
+from repro.forwarding.fib import Fib
+from repro.net.addr import IPv4Address, Prefix
+
+S1, S2 = "s1", "s2"
+S1_AS, S2_AS = 65001, 65002
+S1_ADDR = IPv4Address.parse("10.0.1.1")
+S2_ADDR = IPv4Address.parse("10.0.2.1")
+P1 = Prefix.parse("192.0.2.0/24")
+
+DAMPING = DampingConfig(half_life=100.0, max_suppress_time=600.0)
+
+
+def make_router(fib=None):
+    return BgpSpeaker(
+        SpeakerConfig(
+            asn=65000,
+            bgp_identifier=IPv4Address.parse("9.9.9.9"),
+            local_address=IPv4Address.parse("10.0.0.254"),
+            hold_time=0.0,
+        ),
+        fib=fib,
+    )
+
+
+def connect(router, peer_id, asn, addr, bgp_id, **peer_kwargs):
+    router.add_peer(PeerConfig(peer_id, asn, addr, **peer_kwargs))
+    outbox = []
+    router.set_send_callback(peer_id, outbox.append)
+    router.start_peer(peer_id)
+    router.transport_connected(peer_id)
+    router.receive_bytes(peer_id, OpenMessage(asn, 0, bgp_id).encode())
+    router.receive_bytes(peer_id, KeepaliveMessage().encode())
+    return outbox
+
+
+def announce(router, peer_id, prefixes, path, next_hop, now=0.0):
+    attrs = PathAttributes(as_path=AsPath.from_asns(path), next_hop=next_hop)
+    router.receive_bytes(
+        peer_id, UpdateMessage(attributes=attrs, nlri=tuple(prefixes)).encode(), now=now
+    )
+
+
+def withdraw(router, peer_id, prefixes, now=0.0):
+    router.receive_bytes(
+        peer_id, UpdateMessage(withdrawn=tuple(prefixes)).encode(), now=now
+    )
+
+
+class TestDampingInSpeaker:
+    def flap(self, router, times):
+        for i in range(times):
+            announce(router, S1, [P1], [S1_AS, 300], S1_ADDR, now=float(2 * i))
+            withdraw(router, S1, [P1], now=float(2 * i + 1))
+
+    def test_flapping_route_becomes_suppressed(self):
+        fib = Fib()
+        router = make_router(fib=fib)
+        connect(router, S1, S1_AS, S1_ADDR, IPv4Address.parse("1.1.1.1"), damping=DAMPING)
+        self.flap(router, times=3)
+        # Route is withdrawn *and* suppressed: a fresh announcement must
+        # not install it.
+        announce(router, S1, [P1], [S1_AS, 300], S1_ADDR, now=7.0)
+        assert len(router.loc_rib) == 0
+        assert len(fib) == 0
+        assert router.peers[S1].damper.suppressions >= 1
+
+    def test_suppressed_route_reused_after_decay(self):
+        fib = Fib()
+        router = make_router(fib=fib)
+        connect(router, S1, S1_AS, S1_ADDR, IPv4Address.parse("1.1.1.1"), damping=DAMPING)
+        self.flap(router, times=3)
+        announce(router, S1, [P1], [S1_AS, 300], S1_ADDR, now=7.0)
+        assert len(router.loc_rib) == 0
+        # Long after the storm the penalty decays below reuse and the
+        # route installs again.
+        announce(router, S1, [P1], [S1_AS, 300], S1_ADDR, now=2000.0)
+        assert len(router.loc_rib) == 1
+        assert fib.next_hop_for(P1) == S1_ADDR
+
+    def test_stable_route_never_suppressed(self):
+        router = make_router()
+        connect(router, S1, S1_AS, S1_ADDR, IPv4Address.parse("1.1.1.1"), damping=DAMPING)
+        announce(router, S1, [P1], [S1_AS, 300], S1_ADDR, now=0.0)
+        assert len(router.loc_rib) == 1
+
+    def test_damping_per_peer(self):
+        """A flap storm from one peer must not damp the other's route."""
+        router = make_router()
+        connect(router, S1, S1_AS, S1_ADDR, IPv4Address.parse("1.1.1.1"), damping=DAMPING)
+        connect(router, S2, S2_AS, S2_ADDR, IPv4Address.parse("2.2.2.2"), damping=DAMPING)
+        self.flap(router, times=3)
+        announce(router, S2, [P1], [S2_AS, 300], S2_ADDR, now=8.0)
+        assert len(router.loc_rib) == 1
+        assert router.loc_rib.get(P1).peer_id == S2
+
+    def test_no_damping_by_default(self):
+        router = make_router()
+        connect(router, S1, S1_AS, S1_ADDR, IPv4Address.parse("1.1.1.1"))
+        assert router.peers[S1].damper is None
+        self.flap(router, times=10)
+        announce(router, S1, [P1], [S1_AS, 300], S1_ADDR, now=25.0)
+        assert len(router.loc_rib) == 1
+
+
+class TestMraiInSpeaker:
+    def test_first_export_passes_rapid_changes_withheld(self):
+        router = make_router()
+        connect(router, S1, S1_AS, S1_ADDR, IPv4Address.parse("1.1.1.1"))
+        out2 = connect(
+            router, S2, S2_AS, S2_ADDR, IPv4Address.parse("2.2.2.2"), mrai_interval=30.0
+        )
+        announce(router, S1, [P1], [S1_AS, 300], S1_ADDR, now=0.0)
+        packets = router.flush_updates(S2)
+        assert len(packets) == 1  # first advertisement passes
+
+        # A rapid change (better path from S1) is withheld.
+        announce(router, S1, [P1], [S1_AS], S1_ADDR, now=5.0)
+        assert router.flush_updates(S2) == []
+        assert len(router.peers[S2].mrai) == 1
+
+    def test_release_mrai_emits_newest_state(self):
+        router = make_router()
+        connect(router, S1, S1_AS, S1_ADDR, IPv4Address.parse("1.1.1.1"))
+        connect(
+            router, S2, S2_AS, S2_ADDR, IPv4Address.parse("2.2.2.2"), mrai_interval=30.0
+        )
+        announce(router, S1, [P1], [S1_AS, 300], S1_ADDR, now=0.0)
+        router.flush_updates(S2)
+        announce(router, S1, [P1], [S1_AS], S1_ADDR, now=5.0)       # withheld
+        announce(router, S1, [P1], [S1_AS, 301], S1_ADDR, now=6.0)  # coalesces
+
+        assert router.release_mrai(S2, now=31.0) == 1
+        packets = router.flush_updates(S2)
+        assert len(packets) == 1
+        update = decode_message(packets[0])
+        # The newest state (path via 301, re-exported with our AS).
+        assert update.attributes.as_path.all_asns() == (65000, S1_AS, 301)
+
+    def test_withheld_withdraw_released(self):
+        router = make_router()
+        connect(router, S1, S1_AS, S1_ADDR, IPv4Address.parse("1.1.1.1"))
+        connect(
+            router, S2, S2_AS, S2_ADDR, IPv4Address.parse("2.2.2.2"), mrai_interval=30.0
+        )
+        announce(router, S1, [P1], [S1_AS, 300], S1_ADDR, now=0.0)
+        router.flush_updates(S2)
+        withdraw(router, S1, [P1], now=5.0)
+        assert router.flush_updates(S2) == []
+        router.release_mrai(S2, now=31.0)
+        packets = router.flush_updates(S2)
+        assert decode_message(packets[0]).withdrawn == (P1,)
+
+    def test_release_on_peer_without_mrai_is_noop(self):
+        router = make_router()
+        connect(router, S1, S1_AS, S1_ADDR, IPv4Address.parse("1.1.1.1"))
+        assert router.release_mrai(S1, now=100.0) == 0
+
+    def test_mrai_batches_flap_storm(self):
+        """A storm of N changes inside one interval emits one update —
+        the paper's 'aggregate update messages' implication realised by
+        the protocol's own mechanism."""
+        router = make_router()
+        connect(router, S1, S1_AS, S1_ADDR, IPv4Address.parse("1.1.1.1"))
+        connect(
+            router, S2, S2_AS, S2_ADDR, IPv4Address.parse("2.2.2.2"), mrai_interval=30.0
+        )
+        announce(router, S1, [P1], [S1_AS, 300], S1_ADDR, now=0.0)
+        first = router.flush_updates(S2)
+        assert len(first) == 1
+        for i in range(10):
+            announce(router, S1, [P1], [S1_AS, 300 + i + 1], S1_ADDR, now=1.0 + i)
+        assert router.flush_updates(S2) == []
+        router.release_mrai(S2, now=31.0)
+        assert len(router.flush_updates(S2)) == 1
+        assert router.peers[S2].mrai.coalesced >= 9

@@ -1,0 +1,101 @@
+"""Unit tests for the RFC 1812 forwarding pipeline."""
+
+from repro.forwarding.fib import Fib
+from repro.forwarding.pipeline import ForwardAction, ForwardingPipeline
+from repro.net.addr import IPv4Address, Prefix
+from repro.net.checksum import internet_checksum
+from repro.net.packet import IPv4Packet
+
+NH = IPv4Address.parse("10.0.0.1")
+SRC = IPv4Address.parse("8.8.8.8")
+DST = IPv4Address.parse("192.0.2.5")
+
+
+def make_pipeline():
+    fib = Fib()
+    fib.add_route(Prefix.parse("192.0.2.0/24"), NH)
+    return ForwardingPipeline(fib)
+
+
+def valid_packet(ttl=64, dst=DST):
+    packet = IPv4Packet(source=SRC, destination=dst, ttl=ttl, payload=b"data")
+    packet.encode()  # computes the checksum
+    return packet
+
+
+class TestForwarding:
+    def test_success_path(self):
+        pipeline = make_pipeline()
+        result = pipeline.forward(valid_packet())
+        assert result.action is ForwardAction.FORWARDED
+        assert result.next_hop == NH
+        assert result.packet.ttl == 63
+        assert pipeline.stats.forwarded == 1
+
+    def test_ttl_decremented_checksum_still_valid(self):
+        pipeline = make_pipeline()
+        result = pipeline.forward(valid_packet())
+        # The incrementally updated checksum must verify on full recompute.
+        assert result.packet.header_checksum_ok()
+        recomputed = internet_checksum(result.packet.header_bytes(result.packet.checksum))
+        assert recomputed == 0
+
+    def test_chain_of_hops(self):
+        """A packet surviving multiple hops stays checksum-valid."""
+        pipeline = make_pipeline()
+        packet = valid_packet(ttl=5)
+        for expected_ttl in (4, 3, 2, 1):
+            result = pipeline.forward(packet)
+            assert result.action is ForwardAction.FORWARDED
+            assert result.packet.ttl == expected_ttl
+            assert result.packet.header_checksum_ok()
+            packet = result.packet
+        # TTL now 1: the next hop must drop it.
+        assert pipeline.forward(packet).action is ForwardAction.DROP_TTL_EXPIRED
+
+
+class TestDrops:
+    def test_bad_checksum(self):
+        pipeline = make_pipeline()
+        packet = valid_packet()
+        packet.checksum = (packet.checksum + 1) & 0xFFFF
+        result = pipeline.forward(packet)
+        assert result.action is ForwardAction.DROP_BAD_CHECKSUM
+        assert pipeline.stats.bad_checksum == 1
+
+    def test_missing_checksum(self):
+        pipeline = make_pipeline()
+        packet = IPv4Packet(source=SRC, destination=DST)
+        assert pipeline.forward(packet).action is ForwardAction.DROP_BAD_CHECKSUM
+
+    def test_ttl_one_dropped(self):
+        pipeline = make_pipeline()
+        result = pipeline.forward(valid_packet(ttl=1))
+        assert result.action is ForwardAction.DROP_TTL_EXPIRED
+        assert pipeline.stats.ttl_expired == 1
+
+    def test_ttl_zero_dropped(self):
+        pipeline = make_pipeline()
+        assert pipeline.forward(valid_packet(ttl=0)).action is ForwardAction.DROP_TTL_EXPIRED
+
+    def test_no_route(self):
+        pipeline = make_pipeline()
+        result = pipeline.forward(valid_packet(dst=IPv4Address.parse("203.0.113.1")))
+        assert result.action is ForwardAction.DROP_NO_ROUTE
+        assert pipeline.stats.no_route == 1
+
+    def test_checksum_checked_before_ttl(self):
+        pipeline = make_pipeline()
+        packet = valid_packet(ttl=1)
+        packet.checksum = (packet.checksum + 1) & 0xFFFF
+        assert pipeline.forward(packet).action is ForwardAction.DROP_BAD_CHECKSUM
+
+
+class TestStats:
+    def test_received_totals(self):
+        pipeline = make_pipeline()
+        pipeline.forward(valid_packet())
+        pipeline.forward(valid_packet(ttl=1))
+        pipeline.forward(valid_packet(dst=IPv4Address.parse("203.0.113.1")))
+        assert pipeline.stats.received == 3
+        assert pipeline.stats.forwarded == 1

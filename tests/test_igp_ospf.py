@@ -1,0 +1,151 @@
+"""Unit tests for the OSPF model, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.igp.ospf import LinkStateDatabase, OspfNetwork, RouterLsa, shortest_paths
+from repro.igp.topology import Topology
+
+
+def diamond() -> Topology:
+    """a - b - d and a - c - d, with the b path cheaper."""
+    topology = Topology()
+    topology.add_link("a", "b", 1.0)
+    topology.add_link("b", "d", 1.0)
+    topology.add_link("a", "c", 2.0)
+    topology.add_link("c", "d", 2.0)
+    return topology
+
+
+class TestLsdb:
+    def test_install_newer_sequence(self):
+        lsdb = LinkStateDatabase()
+        assert lsdb.install(RouterLsa("a", 1, (("b", 1.0),)))
+        assert lsdb.install(RouterLsa("a", 2, (("b", 2.0),)))
+        assert lsdb.get("a").sequence == 2
+
+    def test_stale_lsa_rejected(self):
+        lsdb = LinkStateDatabase()
+        lsdb.install(RouterLsa("a", 2, (("b", 1.0),)))
+        assert not lsdb.install(RouterLsa("a", 1, (("b", 9.0),)))
+        assert not lsdb.install(RouterLsa("a", 2, (("b", 9.0),)))
+
+    def test_graph_requires_bidirectional_advertisement(self):
+        lsdb = LinkStateDatabase()
+        lsdb.install(RouterLsa("a", 1, (("b", 1.0),)))
+        # b has not advertised the link back: unusable.
+        assert lsdb.graph() == {}
+        lsdb.install(RouterLsa("b", 1, (("a", 1.0),)))
+        assert lsdb.graph() == {"a": [("b", 1.0)], "b": [("a", 1.0)]}
+
+
+class TestSpf:
+    def test_diamond_prefers_cheap_path(self):
+        network = OspfNetwork(diamond())
+        network.announce_all()
+        router = network.routers["a"]
+        assert router.next_hop("d") == "b"
+        assert router.cost_to("d") == 2.0
+
+    def test_unreachable_absent(self):
+        topology = diamond()
+        topology.add_router("island")
+        network = OspfNetwork(topology)
+        network.announce_all()
+        assert network.routers["a"].next_hop("island") is None
+
+    def test_link_failure_reroutes(self):
+        topology = diamond()
+        network = OspfNetwork(topology)
+        network.announce_all()
+        topology.remove_link("a", "b")
+        network.link_event("a", "b")
+        router = network.routers["a"]
+        assert router.next_hop("d") == "c"
+        assert router.cost_to("d") == 4.0
+
+    def test_cost_change_reroutes(self):
+        topology = diamond()
+        network = OspfNetwork(topology)
+        network.announce_all()
+        topology.set_cost("a", "b", 10.0)
+        network.link_event("a", "b")
+        assert network.routers["a"].next_hop("d") == "c"
+
+    def test_flooding_converges_lsdbs(self):
+        network = OspfNetwork(Topology.ring(6))
+        network.announce_all()
+        assert network.converged()
+        sizes = {len(r.lsdb) for r in network.routers.values()}
+        assert sizes == {6}
+
+    def test_next_hops_consistent_no_loops(self):
+        """Following next hops from any source reaches the destination
+        without revisiting a router (SPF trees are loop-free)."""
+        network = OspfNetwork(Topology.ring(8))
+        network.announce_all()
+        for source in network.routers:
+            for destination in network.routers:
+                if source == destination:
+                    continue
+                current, seen = source, set()
+                while current != destination:
+                    assert current not in seen, "forwarding loop"
+                    seen.add(current)
+                    current = network.routers[current].next_hop(destination)
+                    assert current is not None
+
+    def test_spf_run_counter(self):
+        network = OspfNetwork(diamond())
+        network.announce_all()
+        assert all(r.spf_runs == 1 for r in network.routers.values())
+        network.link_event("a", "b")
+        assert all(r.spf_runs == 2 for r in network.routers.values())
+
+
+class TestAgainstNetworkx:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=9), st.data())
+    def test_costs_match_dijkstra_reference(self, n, data):
+        # Random connected-ish graph: a spanning line plus extra edges.
+        topology = Topology.line(n)
+        extra = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=1, max_value=10),
+                ),
+                max_size=8,
+            )
+        )
+        for a, b, cost in extra:
+            if a != b:
+                topology.add_link(f"r{a}", f"r{b}", float(cost))
+
+        graph = nx.Graph()
+        for a, b, cost in topology.links():
+            graph.add_edge(a, b, weight=cost)
+
+        network = OspfNetwork(topology)
+        network.announce_all()
+        reference = dict(nx.all_pairs_dijkstra_path_length(graph, weight="weight"))
+        for source, router in network.routers.items():
+            for destination, (cost, _hop) in router.routing_table.items():
+                assert cost == pytest.approx(reference[source][destination]), (
+                    source,
+                    destination,
+                )
+
+    def test_shortest_paths_tie_break_deterministic(self):
+        adjacency = {
+            "s": [("a", 1.0), ("b", 1.0)],
+            "a": [("s", 1.0), ("t", 1.0)],
+            "b": [("s", 1.0), ("t", 1.0)],
+            "t": [("a", 1.0), ("b", 1.0)],
+        }
+        for _ in range(5):
+            table = shortest_paths(adjacency, "s")
+            assert table["t"] == (2.0, "a")  # lexicographically smaller hop

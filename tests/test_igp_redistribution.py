@@ -1,0 +1,172 @@
+"""Tests for IGP -> BGP redistribution across both IGP substrates."""
+
+import pytest
+
+from repro.bgp.messages import KeepaliveMessage, OpenMessage, decode_message
+from repro.bgp.speaker import BgpSpeaker, PeerConfig, SpeakerConfig
+from repro.forwarding.fib import Fib
+from repro.igp.ospf import OspfNetwork
+from repro.igp.redistribution import IgpSite, Redistributor, rip_table_view
+from repro.igp.rip import RipNetwork
+from repro.igp.topology import Topology
+from repro.net.addr import IPv4Address, Prefix
+
+P_LOCAL = Prefix.parse("10.10.0.0/16")
+P_R1 = Prefix.parse("10.11.0.0/16")
+P_R2A = Prefix.parse("10.12.0.0/16")
+P_R2B = Prefix.parse("10.13.0.0/16")
+
+SITES = {
+    "r0": IgpSite(IPv4Address.parse("172.16.0.1"), (P_LOCAL,)),
+    "r1": IgpSite(IPv4Address.parse("172.16.0.2"), (P_R1,)),
+    "r2": IgpSite(IPv4Address.parse("172.16.0.3"), (P_R2A, P_R2B)),
+}
+
+
+def make_speaker():
+    return BgpSpeaker(
+        SpeakerConfig(
+            asn=65000,
+            bgp_identifier=IPv4Address.parse("9.9.9.9"),
+            local_address=IPv4Address.parse("172.16.0.1"),
+            hold_time=0.0,
+        ),
+        fib=Fib(),
+    )
+
+
+def ospf_three_line():
+    """r0 - r1 - r2 with unit costs, converged OSPF."""
+    topology = Topology.line(3)
+    network = OspfNetwork(topology)
+    network.announce_all()
+    return topology, network
+
+
+class TestDesiredRoutes:
+    def test_local_site_cost_zero(self):
+        speaker = make_speaker()
+        redis = Redistributor(speaker, SITES, "r0")
+        desired = redis.desired_routes({})
+        assert desired[P_LOCAL] == (0, SITES["r0"].address)
+
+    def test_remote_sites_carry_igp_cost_as_med(self):
+        _topology, network = ospf_three_line()
+        speaker = make_speaker()
+        redis = Redistributor(speaker, SITES, "r0")
+        desired = redis.desired_routes(network.routers["r0"].routing_table)
+        assert desired[P_R1][0] == 1
+        assert desired[P_R2A][0] == 2
+        assert desired[P_R2B][0] == 2
+
+    def test_next_hop_is_first_hop_router(self):
+        _topology, network = ospf_three_line()
+        redis = Redistributor(make_speaker(), SITES, "r0")
+        desired = redis.desired_routes(network.routers["r0"].routing_table)
+        # Everything beyond r0 is reached via r1.
+        assert desired[P_R2A][1] == SITES["r1"].address
+
+    def test_unknown_destinations_ignored(self):
+        redis = Redistributor(make_speaker(), SITES, "r0")
+        desired = redis.desired_routes({"mystery": (5.0, "r1")})
+        assert set(desired) == {P_LOCAL}
+
+    def test_local_router_must_be_known(self):
+        with pytest.raises(ValueError):
+            Redistributor(make_speaker(), SITES, "r99")
+
+
+class TestSync:
+    def test_initial_sync_originates_everything(self):
+        _topology, network = ospf_three_line()
+        speaker = make_speaker()
+        redis = Redistributor(speaker, SITES, "r0")
+        stats = redis.sync(network.routers["r0"].routing_table)
+        assert stats == {"originated": 4, "withdrawn": 0, "updated": 0}
+        assert len(speaker.loc_rib) == 4
+        route = speaker.loc_rib.get(P_R2A)
+        assert route.attributes.med == 2
+
+    def test_idempotent(self):
+        _topology, network = ospf_three_line()
+        speaker = make_speaker()
+        redis = Redistributor(speaker, SITES, "r0")
+        redis.sync(network.routers["r0"].routing_table)
+        stats = redis.sync(network.routers["r0"].routing_table)
+        assert stats == {"originated": 0, "withdrawn": 0, "updated": 0}
+
+    def test_partition_withdraws(self):
+        topology, network = ospf_three_line()
+        speaker = make_speaker()
+        redis = Redistributor(speaker, SITES, "r0")
+        redis.sync(network.routers["r0"].routing_table)
+        topology.remove_link("r1", "r2")
+        network.link_event("r1", "r2")
+        stats = redis.sync(network.routers["r0"].routing_table)
+        assert stats["withdrawn"] == 2  # r2's two prefixes
+        assert P_R2A not in speaker.loc_rib
+        assert P_R1 in speaker.loc_rib
+
+    def test_cost_change_updates_med(self):
+        topology, network = ospf_three_line()
+        speaker = make_speaker()
+        redis = Redistributor(speaker, SITES, "r0")
+        redis.sync(network.routers["r0"].routing_table)
+        topology.set_cost("r1", "r2", 5.0)
+        network.link_event("r1", "r2")
+        stats = redis.sync(network.routers["r0"].routing_table)
+        assert stats["updated"] == 2
+        assert speaker.loc_rib.get(P_R2A).attributes.med == 6
+
+    def test_redistributed_routes_advertised_to_bgp_peer(self):
+        _topology, network = ospf_three_line()
+        speaker = make_speaker()
+        speaker.add_peer(PeerConfig("ext", 65001, IPv4Address.parse("192.0.2.1")))
+        outbox = []
+        speaker.set_send_callback("ext", outbox.append)
+        speaker.start_peer("ext")
+        speaker.transport_connected("ext")
+        speaker.receive_bytes("ext", OpenMessage(65001, 0, IPv4Address.parse("1.1.1.1")).encode())
+        speaker.receive_bytes("ext", KeepaliveMessage().encode())
+        redis = Redistributor(speaker, SITES, "r0")
+        redis.sync(network.routers["r0"].routing_table)
+        announced = set()
+        meds = {}
+        for packet in speaker.flush_updates("ext"):
+            message = decode_message(packet)
+            announced.update(message.nlri)
+            for prefix in message.nlri:
+                meds[prefix] = message.attributes.med
+        assert announced == {P_LOCAL, P_R1, P_R2A, P_R2B}
+        assert meds[P_R2A] == 2  # IGP cost carried as MED over eBGP
+
+
+class TestRipAdapter:
+    def test_rip_table_view(self):
+        network = RipNetwork(Topology.line(3))
+        network.converge()
+        view = rip_table_view(network.routers["r0"])
+        assert view["r1"] == (1.0, "r1")
+        assert view["r2"] == (2.0, "r1")
+        assert "r0" not in view
+
+    def test_redistribution_from_rip(self):
+        network = RipNetwork(Topology.line(3))
+        network.converge()
+        speaker = make_speaker()
+        redis = Redistributor(speaker, SITES, "r0")
+        stats = redis.sync(rip_table_view(network.routers["r0"]))
+        assert stats["originated"] == 4
+        assert speaker.loc_rib.get(P_R2B).attributes.med == 2
+
+    def test_rip_failure_propagates_to_bgp(self):
+        network = RipNetwork(Topology.line(3))
+        network.converge()
+        speaker = make_speaker()
+        redis = Redistributor(speaker, SITES, "r0")
+        redis.sync(rip_table_view(network.routers["r0"]))
+        network.fail_link("r1", "r2")
+        network.converge()
+        stats = redis.sync(rip_table_view(network.routers["r0"]))
+        assert stats["withdrawn"] == 2
+        assert P_R2A not in speaker.loc_rib

@@ -1,0 +1,149 @@
+"""Unit tests for the RIP model: convergence, split horizon, and the
+classic count-to-infinity pathology."""
+
+import pytest
+
+from repro.igp.rip import INFINITY_METRIC, RipNetwork, RipRouter, converge
+from repro.igp.topology import Topology
+
+
+class TestRouter:
+    def test_initial_table_self_route(self):
+        router = RipRouter("a")
+        assert router.table["a"].metric == 0
+
+    def test_learns_route(self):
+        router = RipRouter("a")
+        changed = router.process_advertisement("b", 1, {"b": 0, "c": 1})
+        assert changed
+        assert router.route_to("b").metric == 1
+        assert router.route_to("c").metric == 2
+        assert router.route_to("c").next_hop == "b"
+
+    def test_keeps_better_route(self):
+        router = RipRouter("a")
+        router.process_advertisement("b", 1, {"x": 1})
+        router.process_advertisement("c", 1, {"x": 5})
+        assert router.route_to("x").next_hop == "b"
+        assert router.route_to("x").metric == 2
+
+    def test_current_next_hop_authoritative_even_if_worse(self):
+        router = RipRouter("a")
+        router.process_advertisement("b", 1, {"x": 1})
+        assert router.route_to("x").metric == 2
+        router.process_advertisement("b", 1, {"x": 7})
+        assert router.route_to("x").metric == 8
+
+    def test_metric_capped_at_infinity(self):
+        router = RipRouter("a")
+        router.process_advertisement("b", 1, {"x": 15})
+        # 15 + 1 caps at infinity: an unreachable new route is not
+        # installed at all.
+        assert router.route_to("x") is None
+        assert "x" not in router.table
+
+    def test_existing_route_poisoned_by_infinity(self):
+        router = RipRouter("a")
+        router.process_advertisement("b", 1, {"x": 1})
+        router.process_advertisement("b", 1, {"x": INFINITY_METRIC})
+        assert router.route_to("x") is None
+        assert router.table["x"].metric == INFINITY_METRIC
+
+    def test_split_horizon_omits_routes_via_neighbor(self):
+        router = RipRouter("a", split_horizon=True, poisoned_reverse=False)
+        router.process_advertisement("b", 1, {"x": 1})
+        vector = router.advertisement_for("b")
+        assert "x" not in vector
+        assert vector["a"] == 0
+
+    def test_poisoned_reverse_advertises_infinity(self):
+        router = RipRouter("a", split_horizon=True, poisoned_reverse=True)
+        router.process_advertisement("b", 1, {"x": 1})
+        assert router.advertisement_for("b")["x"] == INFINITY_METRIC
+
+    def test_no_split_horizon_advertises_back(self):
+        router = RipRouter("a", split_horizon=False)
+        router.process_advertisement("b", 1, {"x": 1})
+        assert router.advertisement_for("b")["x"] == 2
+
+    def test_expire_next_hop(self):
+        router = RipRouter("a")
+        router.process_advertisement("b", 1, {"b": 0, "x": 1, "y": 2})
+        router.process_advertisement("c", 1, {"z": 1})
+        assert router.expire_next_hop("b") == 3  # b itself, x, y
+        assert router.route_to("x") is None
+        assert router.route_to("z") is not None
+
+
+class TestConvergence:
+    def test_line_converges_to_hop_counts(self):
+        network = converge(Topology.line(5))
+        r0 = network.routers["r0"]
+        assert r0.route_to("r4").metric == 4
+        assert r0.route_to("r4").next_hop == "r1"
+        assert r0.route_to("r1").metric == 1
+
+    def test_ring_takes_shorter_arc(self):
+        network = converge(Topology.ring(6))
+        r0 = network.routers["r0"]
+        assert r0.route_to("r1").metric == 1
+        assert r0.route_to("r5").metric == 1  # around the back
+        assert r0.route_to("r3").metric == 3
+
+    def test_convergence_rounds_bounded_by_diameter(self):
+        network = RipNetwork(Topology.line(8))
+        rounds = network.converge()
+        assert rounds <= 10  # diameter 7 + quiescence round
+
+    def test_all_pairs_reachable_in_mesh(self):
+        network = converge(Topology.full_mesh(5))
+        for a in network.routers:
+            for b in network.routers:
+                if a != b:
+                    assert network.routers[a].route_to(b).metric == 1
+
+    def test_deterministic(self):
+        t1 = converge(Topology.ring(5))
+        t2 = converge(Topology.ring(5))
+        for name in t1.routers:
+            table1 = {d: (e.metric, e.next_hop) for d, e in t1.routers[name].table.items()}
+            table2 = {d: (e.metric, e.next_hop) for d, e in t2.routers[name].table.items()}
+            assert table1 == table2
+
+
+class TestLinkFailure:
+    def test_reroute_after_failure_with_split_horizon(self):
+        network = converge(Topology.ring(5))
+        network.fail_link("r0", "r1")
+        network.converge()
+        r0 = network.routers["r0"]
+        assert r0.route_to("r1").metric == 4
+        assert r0.route_to("r1").next_hop == "r4"
+
+    def test_partition_leaves_destination_unreachable(self):
+        network = converge(Topology.line(3))
+        network.fail_link("r1", "r2")
+        network.converge()
+        assert network.routers["r0"].route_to("r2") is None
+
+    def test_count_to_infinity_without_split_horizon(self):
+        """The classic pathology: without split horizon, a partition
+        makes two routers bounce the dead route between each other,
+        climbing the metric one step per round until 16."""
+        network = RipNetwork(
+            Topology.line(3), split_horizon=False, poisoned_reverse=False
+        )
+        network.converge()
+        network.fail_link("r1", "r2")
+        rounds = network.converge(max_rounds=100)
+        # Converged only by counting up to infinity — needs ~metric-many
+        # rounds, far more than the diameter.
+        assert rounds >= INFINITY_METRIC / 2
+        assert network.routers["r0"].route_to("r2") is None
+
+    def test_split_horizon_converges_fast_after_partition(self):
+        network = RipNetwork(Topology.line(3))
+        network.converge()
+        network.fail_link("r1", "r2")
+        rounds = network.converge(max_rounds=100)
+        assert rounds <= 4

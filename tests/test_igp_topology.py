@@ -1,0 +1,96 @@
+"""Unit tests for the IGP topology model."""
+
+import pytest
+
+from repro.igp.topology import Topology, TopologyError
+
+
+class TestConstruction:
+    def test_add_link_adds_routers(self):
+        topology = Topology()
+        topology.add_link("a", "b", 2.0)
+        assert "a" in topology and "b" in topology
+        assert len(topology) == 2
+
+    def test_links_undirected(self):
+        topology = Topology()
+        topology.add_link("a", "b", 2.0)
+        assert topology.has_link("a", "b")
+        assert topology.has_link("b", "a")
+        assert topology.cost("b", "a") == 2.0
+
+    def test_self_link_rejected(self):
+        topology = Topology()
+        with pytest.raises(TopologyError):
+            topology.add_link("a", "a")
+
+    def test_nonpositive_cost_rejected(self):
+        topology = Topology()
+        with pytest.raises(TopologyError):
+            topology.add_link("a", "b", 0.0)
+        with pytest.raises(TopologyError):
+            topology.add_link("a", "b", -1.0)
+
+    def test_set_cost(self):
+        topology = Topology()
+        topology.add_link("a", "b", 1.0)
+        topology.set_cost("a", "b", 5.0)
+        assert topology.cost("a", "b") == 5.0
+        with pytest.raises(TopologyError):
+            topology.set_cost("a", "c", 1.0)
+
+    def test_remove_link(self):
+        topology = Topology()
+        topology.add_link("a", "b")
+        topology.remove_link("b", "a")
+        assert not topology.has_link("a", "b")
+        with pytest.raises(TopologyError):
+            topology.remove_link("a", "b")
+
+    def test_cost_of_missing_link(self):
+        topology = Topology()
+        with pytest.raises(TopologyError):
+            topology.cost("a", "b")
+
+
+class TestQueries:
+    def test_neighbors_sorted(self):
+        topology = Topology()
+        topology.add_link("m", "z", 1.0)
+        topology.add_link("m", "a", 2.0)
+        assert topology.neighbors("m") == [("a", 2.0), ("z", 1.0)]
+
+    def test_isolated_router(self):
+        topology = Topology()
+        topology.add_router("lonely")
+        assert topology.neighbors("lonely") == []
+        assert "lonely" in topology
+
+    def test_links_iteration_sorted(self):
+        topology = Topology()
+        topology.add_link("c", "d")
+        topology.add_link("a", "b")
+        assert [(a, b) for a, b, _c in topology.links()] == [("a", "b"), ("c", "d")]
+
+
+class TestGenerators:
+    def test_line(self):
+        topology = Topology.line(4)
+        assert len(topology) == 4
+        assert topology.has_link("r0", "r1")
+        assert topology.has_link("r2", "r3")
+        assert not topology.has_link("r0", "r3")
+
+    def test_ring(self):
+        topology = Topology.ring(5)
+        assert topology.has_link("r4", "r0")
+        assert len(list(topology.links())) == 5
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(TopologyError):
+            Topology.ring(2)
+
+    def test_full_mesh(self):
+        topology = Topology.full_mesh(4)
+        assert len(list(topology.links())) == 6
+        assert topology.has_link("r0", "r3")

@@ -1,0 +1,83 @@
+"""Unit tests for the Internet checksum and its incremental update."""
+
+import struct
+
+import pytest
+
+from repro.net.checksum import incremental_checksum_update, internet_checksum
+
+
+class TestInternetChecksum:
+    def test_known_vector_rfc1071_style(self):
+        # Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert internet_checksum(data) == 0x220D
+
+    def test_empty_data(self):
+        assert internet_checksum(b"") == 0xFFFF
+
+    def test_odd_length_padding(self):
+        # Trailing byte is padded with zero on the right.
+        assert internet_checksum(b"\x12") == internet_checksum(b"\x12\x00")
+
+    def test_verification_yields_zero(self):
+        header = bytearray(struct.pack("!BBHHHBBH4s4s", 0x45, 0, 20, 1, 0, 64, 6, 0,
+                                       b"\x0a\x00\x00\x01", b"\x0a\x00\x00\x02"))
+        checksum = internet_checksum(bytes(header))
+        header[10:12] = checksum.to_bytes(2, "big")
+        assert internet_checksum(bytes(header)) == 0
+
+    def test_all_zeros(self):
+        assert internet_checksum(b"\x00" * 20) == 0xFFFF
+
+    def test_all_ones(self):
+        # Sum of all-ones words folds to 0xFFFF; complement is 0.
+        assert internet_checksum(b"\xff" * 20) == 0
+
+    def test_carry_folding(self):
+        # Values engineered to produce multiple carry-outs.
+        data = b"\xff\xff" * 3 + b"\x00\x01"
+        assert 0 <= internet_checksum(data) <= 0xFFFF
+
+
+class TestIncrementalUpdate:
+    def test_matches_full_recompute_for_ttl_decrement(self):
+        header = bytearray(struct.pack("!BBHHHBBH4s4s", 0x45, 0, 40, 7, 0, 64, 17, 0,
+                                       b"\xc6\x33\x64\x01", b"\xc6\x33\x64\x02"))
+        checksum = internet_checksum(bytes(header))
+        header[10:12] = checksum.to_bytes(2, "big")
+        # Decrement TTL (byte 8), then compare incremental vs full.
+        old_word = (header[8] << 8) | header[9]
+        header[8] -= 1
+        new_word = (header[8] << 8) | header[9]
+        incremental = incremental_checksum_update(checksum, old_word, new_word)
+        header[10:12] = b"\x00\x00"
+        full = internet_checksum(bytes(header))
+        assert incremental == full
+
+    def test_no_change_is_identity(self):
+        assert incremental_checksum_update(0x1234, 0x4006, 0x4006) == 0x1234
+
+    def test_rejects_out_of_range_checksum(self):
+        with pytest.raises(ValueError):
+            incremental_checksum_update(0x10000, 0, 0)
+        with pytest.raises(ValueError):
+            incremental_checksum_update(-1, 0, 0)
+
+    def test_rejects_out_of_range_words(self):
+        with pytest.raises(ValueError):
+            incremental_checksum_update(0, 0x10000, 0)
+        with pytest.raises(ValueError):
+            incremental_checksum_update(0, 0, -5)
+
+    def test_rfc1624_zero_edge_case(self):
+        # The case where RFC 1141 gives the wrong answer: a checksum of
+        # 0xFFFF (-0) must stay correct through an update.
+        # Build data whose checksum is 0xFFFF (all-zero data).
+        data = bytearray(b"\x00" * 4)
+        checksum = internet_checksum(bytes(data))  # 0xFFFF
+        old_word = 0x0000
+        new_word = 0x1234
+        data[0:2] = new_word.to_bytes(2, "big")
+        assert incremental_checksum_update(checksum, old_word, new_word) == \
+            internet_checksum(bytes(data))

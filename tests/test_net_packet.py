@@ -1,0 +1,98 @@
+"""Unit tests for the IPv4 packet model."""
+
+import pytest
+
+from repro.net.addr import IPv4Address
+from repro.net.packet import IPv4Packet, PacketError
+
+SRC = IPv4Address.parse("10.0.0.1")
+DST = IPv4Address.parse("192.0.2.9")
+
+
+def make_packet(**kwargs) -> IPv4Packet:
+    defaults = dict(source=SRC, destination=DST, ttl=64, payload=b"hello")
+    defaults.update(kwargs)
+    return IPv4Packet(**defaults)
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        packet = make_packet(protocol=17, identification=99, dscp=4)
+        decoded = IPv4Packet.decode(packet.encode())
+        assert decoded.source == SRC
+        assert decoded.destination == DST
+        assert decoded.ttl == 64
+        assert decoded.protocol == 17
+        assert decoded.identification == 99
+        assert decoded.dscp == 4
+        assert decoded.payload == b"hello"
+
+    def test_round_trip_with_options(self):
+        packet = make_packet(options=b"\x01\x01\x01\x00")
+        decoded = IPv4Packet.decode(packet.encode())
+        assert decoded.options == b"\x01\x01\x01\x00"
+        assert decoded.payload == b"hello"
+
+    def test_encode_sets_valid_checksum(self):
+        packet = make_packet()
+        decoded = IPv4Packet.decode(packet.encode())
+        assert decoded.header_checksum_ok()
+
+    def test_flags_and_fragment_offset(self):
+        packet = make_packet(flags=2, fragment_offset=100)
+        decoded = IPv4Packet.decode(packet.encode())
+        assert decoded.flags == 2
+        assert decoded.fragment_offset == 100
+
+    def test_total_length(self):
+        packet = make_packet(payload=b"x" * 100)
+        assert packet.total_length == 120
+        assert packet.header_length == 20
+
+
+class TestDecodeErrors:
+    def test_truncated_header(self):
+        with pytest.raises(PacketError):
+            IPv4Packet.decode(b"\x45" * 10)
+
+    def test_wrong_version(self):
+        data = bytearray(make_packet().encode())
+        data[0] = (6 << 4) | 5
+        with pytest.raises(PacketError):
+            IPv4Packet.decode(bytes(data))
+
+    def test_bad_ihl(self):
+        data = bytearray(make_packet().encode())
+        data[0] = (4 << 4) | 4  # IHL below minimum
+        with pytest.raises(PacketError):
+            IPv4Packet.decode(bytes(data))
+
+    def test_total_length_too_large(self):
+        data = bytearray(make_packet().encode())
+        data[2:4] = (5000).to_bytes(2, "big")
+        with pytest.raises(PacketError):
+            IPv4Packet.decode(bytes(data))
+
+    def test_truncated_options(self):
+        packet = make_packet(options=b"\x01\x01\x01\x00")
+        data = packet.encode()[:22]
+        with pytest.raises(PacketError):
+            IPv4Packet.decode(data)
+
+
+class TestChecksumVerification:
+    def test_corrupted_header_detected(self):
+        data = bytearray(make_packet().encode())
+        data[8] ^= 0xFF  # corrupt TTL
+        decoded = IPv4Packet.decode(bytes(data))
+        assert not decoded.header_checksum_ok()
+
+    def test_missing_checksum_fails(self):
+        packet = make_packet()
+        assert packet.checksum is None
+        assert not packet.header_checksum_ok()
+
+    def test_unpadded_options_rejected_on_encode(self):
+        packet = make_packet(options=b"\x01")
+        with pytest.raises(PacketError):
+            packet.encode()

@@ -1,0 +1,160 @@
+"""Property-based tests for the protocol state machines: the BGP FSM
+never crashes or reaches an inconsistent state under arbitrary event
+sequences, and RIP converges to true shortest hop counts."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.fsm import Event, SessionFsm, State
+from repro.bgp.messages import (
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+)
+from repro.igp.rip import INFINITY_METRIC, RipNetwork
+from repro.igp.topology import Topology
+from repro.net.addr import IPv4Address
+
+
+class NullActions:
+    """Accepts all FSM side effects; records session transitions."""
+
+    def __init__(self):
+        self.ups = 0
+        self.downs = 0
+        self.sent = 0
+
+    def send(self, message):
+        self.sent += 1
+
+    def start_connect(self):
+        pass
+
+    def drop_connection(self):
+        pass
+
+    def deliver_update(self, update):
+        pass
+
+    def session_up(self):
+        self.ups += 1
+
+    def session_down(self, reason):
+        self.downs += 1
+
+
+_STIMULI = st.sampled_from([
+    ("event", Event.MANUAL_START),
+    ("event", Event.MANUAL_STOP),
+    ("event", Event.TCP_CONNECTED),
+    ("event", Event.TCP_FAILED),
+    ("event", Event.CONNECT_RETRY_EXPIRES),
+    ("event", Event.HOLD_TIMER_EXPIRES),
+    ("event", Event.KEEPALIVE_TIMER_EXPIRES),
+    ("message", OpenMessage(65001, 90, IPv4Address.parse("2.2.2.2"))),
+    ("message", KeepaliveMessage()),
+    ("message", UpdateMessage()),
+    ("message", NotificationMessage(6, 2)),
+    ("tick", 10.0),
+    ("tick", 100.0),
+])
+
+
+class TestFsmRobustness:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(_STIMULI, max_size=40))
+    def test_arbitrary_stimuli_never_crash(self, stimuli):
+        actions = NullActions()
+        fsm = SessionFsm(65000, IPv4Address.parse("1.1.1.1"), actions)
+        now = 0.0
+        for kind, payload in stimuli:
+            if kind == "event":
+                fsm.handle(payload, now=now)
+            elif kind == "message":
+                fsm.handle_message(payload, now=now)
+            else:
+                now += payload
+                fsm.tick(now)
+            # Invariants after every stimulus:
+            assert fsm.state in State
+            assert actions.downs <= actions.ups  # every down had an up
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(_STIMULI, max_size=30))
+    def test_established_only_after_full_handshake(self, stimuli):
+        """ESTABLISHED is reachable only through OPEN + KEEPALIVE."""
+        actions = NullActions()
+        fsm = SessionFsm(65000, IPv4Address.parse("1.1.1.1"), actions)
+        saw_open = False
+        for kind, payload in stimuli:
+            if kind == "message" and isinstance(payload, OpenMessage):
+                saw_open = True
+            if kind == "event":
+                fsm.handle(payload)
+            elif kind == "message":
+                fsm.handle_message(payload)
+            if fsm.state is State.ESTABLISHED:
+                assert saw_open
+
+
+def random_connected_topology(draw_edges, n):
+    topology = Topology.line(n)  # spanning backbone keeps it connected
+    for a, b in draw_edges:
+        a, b = a % n, b % n
+        if a != b:
+            topology.add_link(f"r{a}", f"r{b}", 1.0)
+    return topology
+
+
+class TestRipCorrectness:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=7),
+                      st.integers(min_value=0, max_value=7)),
+            max_size=8,
+        ),
+    )
+    def test_converged_metrics_are_shortest_hop_counts(self, n, extra_edges):
+        topology = random_connected_topology(
+            [(a, b) for a, b in extra_edges], n
+        )
+        network = RipNetwork(topology)
+        network.converge()
+
+        graph = nx.Graph()
+        for a, b, _cost in topology.links():
+            graph.add_edge(a, b)
+        reference = dict(nx.all_pairs_shortest_path_length(graph))
+        for source, router in network.routers.items():
+            for destination in topology.routers():
+                if destination == source:
+                    continue
+                expected = reference[source].get(destination)
+                entry = router.route_to(destination)
+                if expected is None or expected >= INFINITY_METRIC:
+                    assert entry is None
+                else:
+                    assert entry is not None, (source, destination)
+                    assert entry.metric == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=3, max_value=8))
+    def test_next_hops_form_no_loops(self, n):
+        network = RipNetwork(Topology.ring(n))
+        network.converge()
+        for source in network.routers:
+            for destination in network.routers:
+                if source == destination:
+                    continue
+                current, hops = source, 0
+                while current != destination:
+                    entry = network.routers[current].route_to(destination)
+                    assert entry is not None
+                    current = entry.next_hop
+                    hops += 1
+                    assert hops <= n, "forwarding loop"

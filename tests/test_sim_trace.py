@@ -1,0 +1,122 @@
+"""Tests for the execution trace journal."""
+
+import pytest
+
+from repro.sim.cpu import Priority, World
+from repro.sim.trace import ExecutionTrace
+
+
+def make_world():
+    world = World()
+    machine = world.new_machine("m", cores=1)
+    return world, machine
+
+
+class TestJournal:
+    def test_single_job_interval(self):
+        world, machine = make_world()
+        trace = ExecutionTrace(machine)
+        machine.new_task("t").submit(2.0)
+        world.run()
+        intervals = trace.intervals("t")
+        assert len(intervals) == 1
+        assert intervals[0].start == 0.0
+        assert intervals[0].end == pytest.approx(2.0)
+        assert intervals[0].cpu_seconds == pytest.approx(2.0)
+        assert trace.busy_seconds("t") == pytest.approx(2.0)
+
+    def test_consecutive_intervals_coalesce(self):
+        world, machine = make_world()
+        trace = ExecutionTrace(machine)
+        task = machine.new_task("t")
+        task.submit(1.0)
+        task.submit(1.0)  # back-to-back jobs: one coalesced interval
+        world.run()
+        assert len(trace.intervals("t")) == 1
+        assert trace.busy_seconds("t") == pytest.approx(2.0)
+
+    def test_gap_creates_new_interval(self):
+        world, machine = make_world()
+        trace = ExecutionTrace(machine)
+        task = machine.new_task("t")
+        task.submit(1.0)
+        world.sim.schedule(3.0, lambda: task.submit(1.0))
+        world.run()
+        intervals = trace.intervals("t")
+        assert len(intervals) == 2
+        assert intervals[1].start == pytest.approx(3.0)
+
+    def test_pipeline_ordering_visible(self):
+        """A two-stage chain shows stage 2 starting when stage 1 ends."""
+        world, machine = make_world()
+        trace = ExecutionTrace(machine)
+        first = machine.new_task("first")
+        second = machine.new_task("second")
+        first.submit(1.0, lambda: second.submit(1.0))
+        world.run()
+        assert trace.last_activity("first") == pytest.approx(
+            trace.first_activity("second")
+        )
+
+    def test_idle_task_absent(self):
+        world, machine = make_world()
+        trace = ExecutionTrace(machine)
+        machine.new_task("busy").submit(0.5)
+        machine.new_task("idle")
+        world.run()
+        assert trace.tasks() == ["busy"]
+        assert trace.first_activity("idle") is None
+
+    def test_all_intervals_iteration(self):
+        world, machine = make_world()
+        trace = ExecutionTrace(machine)
+        machine.new_task("a").submit(0.5)
+        machine.new_task("b").submit(0.5)
+        world.run()
+        assert len(list(trace.all_intervals())) == 2
+
+
+class TestGantt:
+    def test_empty(self):
+        _world, machine = make_world()
+        trace = ExecutionTrace(machine)
+        assert trace.gantt() == "(no activity)"
+
+    def test_rows_per_task(self):
+        world, machine = make_world()
+        trace = ExecutionTrace(machine)
+        machine.new_task("alpha").submit(1.0)
+        machine.new_task("beta").submit(1.0)
+        world.run()
+        chart = trace.gantt(width=40)
+        lines = chart.splitlines()
+        assert lines[0].startswith("alpha")
+        assert lines[1].startswith("beta")
+        assert "#" in lines[0] and "#" in lines[1]
+
+    def test_router_trace_integration(self):
+        """Tracing a real benchmark run shows the XORP stages."""
+        from repro.benchmark.harness import (
+            SPEAKER1,
+            SPEAKER1_ADDR,
+            SPEAKER1_ASN,
+            stream_packets,
+        )
+        from repro.bgp.policy import ACCEPT_ALL
+        from repro.bgp.speaker import PeerConfig
+        from repro.systems import build_system
+        from repro.workload.tablegen import generate_table
+        from repro.workload.updates import UpdateStreamBuilder
+
+        router = build_system("pentium3")
+        trace = ExecutionTrace(router.machine)
+        router.add_peer(PeerConfig(SPEAKER1, SPEAKER1_ASN, SPEAKER1_ADDR,
+                                   ACCEPT_ALL, ACCEPT_ALL))
+        router.handshake(SPEAKER1, SPEAKER1_ASN, SPEAKER1_ADDR)
+        builder = UpdateStreamBuilder(SPEAKER1_ASN, SPEAKER1_ADDR)
+        table = generate_table(30, seed=6)
+        stream_packets(router, SPEAKER1, builder.announcements(table, 1), 4)
+        for stage in ("interrupts", "xorp_bgp", "xorp_rib", "xorp_fea", "kernel-fib"):
+            assert trace.busy_seconds(stage) > 0, stage
+        # Stage ordering: interrupts first, kernel FIB later.
+        assert trace.first_activity("interrupts") <= trace.first_activity("kernel-fib")

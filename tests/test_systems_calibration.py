@@ -1,0 +1,63 @@
+"""Tests pinning the checked-in cost table to the paper's Table III."""
+
+import pytest
+
+from repro.systems.calibration import budgets_of, derive_budgets, relative_error
+from repro.systems.costs import XORP_BASE_COSTS
+
+
+class TestDerivation:
+    def test_budgets_positive(self):
+        derived = derive_budgets()
+        for name in derived.__dataclass_fields__:
+            assert getattr(derived, name) > 0, name
+
+    def test_packet_overhead_near_0_6_ms(self):
+        # 1/1111.1 - 1/3636.4 = 0.625 ms.
+        assert derive_budgets().packet_overhead == pytest.approx(0.625e-3, rel=0.02)
+
+    def test_decision_path_near_0_275_ms(self):
+        assert derive_budgets().decision_two_candidates == pytest.approx(
+            0.275e-3, rel=0.02
+        )
+
+    def test_add_chain_near_3_ms(self):
+        assert derive_budgets().add_chain == pytest.approx(3.03e-3, rel=0.03)
+
+
+class TestModelConsistency:
+    """The checked-in table must stay within tolerance of the derived
+    budgets — a guard against casual retuning."""
+
+    def test_core_budgets_within_tolerance(self):
+        errors = relative_error(derive_budgets(), budgets_of(XORP_BASE_COSTS))
+        for name in (
+            "packet_overhead",
+            "decision_two_candidates",
+            "add_chain",
+            "ipc_per_message",
+        ):
+            assert errors[name] < 0.05, (name, errors[name])
+
+    def test_withdraw_chain_within_tolerance(self):
+        errors = relative_error(derive_budgets(), budgets_of(XORP_BASE_COSTS))
+        assert errors["withdraw_chain"] < 0.10
+
+    def test_replace_chain_documented_deviation(self):
+        """The replacement chain deviates by design (the s7/s8 tension
+        documented in EXPERIMENTS.md); it must still be within 10%
+        of the scenario-8 anchor."""
+        errors = relative_error(derive_budgets(), budgets_of(XORP_BASE_COSTS))
+        assert errors["replace_chain"] < 0.10
+
+    def test_end_to_end_scenario1_sum(self):
+        """Summing every stage a scenario-1 prefix traverses reproduces
+        the paper's 5.40 ms on the reference platform."""
+        c = XORP_BASE_COSTS
+        total = (
+            c.pkt_rx + c.msg_parse                # packet overhead
+            + c.decide_unit + c.policy_eval       # decision, 1 candidate
+            + c.ipc_rib_msg + c.ipc_fea_msg       # per-message IPC
+            + c.rib_add + c.fea_add + c.kfib_add  # change chain
+        )
+        assert total == pytest.approx(1.0 / 185.2, rel=0.03)

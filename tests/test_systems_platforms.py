@@ -1,0 +1,79 @@
+"""Unit tests for the platform registry and factory."""
+
+import pytest
+
+from repro.systems.platforms import ALIASES, PLATFORMS, build_system, get_spec
+from repro.systems.router import CiscoRouter, XorpRouter
+
+
+class TestRegistry:
+    def test_four_platforms(self):
+        assert set(PLATFORMS) == {"pentium3", "xeon", "ixp2400", "cisco"}
+
+    def test_specs_match_table2(self):
+        assert PLATFORMS["pentium3"].cores == 1
+        assert PLATFORMS["xeon"].cores == 2
+        assert PLATFORMS["xeon"].threads_per_core == 2
+        assert PLATFORMS["ixp2400"].forwarding.kind == "offload"
+        assert PLATFORMS["cisco"].kind == "cisco"
+
+    def test_forwarding_caps_match_paper(self):
+        assert PLATFORMS["pentium3"].forwarding.max_mbps == 315.0
+        assert PLATFORMS["xeon"].forwarding.max_mbps == 784.0
+        assert PLATFORMS["ixp2400"].forwarding.max_mbps == 940.0
+        assert PLATFORMS["cisco"].forwarding.max_mbps == 78.0
+
+    def test_relative_speeds_ordered(self):
+        assert (
+            PLATFORMS["xeon"].speed
+            > PLATFORMS["pentium3"].speed
+            > PLATFORMS["ixp2400"].speed
+        )
+
+    def test_rtrmgr_heavier_on_ixp(self):
+        assert (
+            PLATFORMS["ixp2400"].rtrmgr_background
+            > PLATFORMS["pentium3"].rtrmgr_background
+        )
+
+
+class TestLookup:
+    def test_get_spec_canonical(self):
+        assert get_spec("xeon").name == "xeon"
+
+    def test_get_spec_case_insensitive(self):
+        assert get_spec("XEON").name == "xeon"
+
+    def test_aliases(self):
+        for alias, canonical in ALIASES.items():
+            assert get_spec(alias).name == canonical
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError):
+            get_spec("cray")
+
+
+class TestBuildSystem:
+    def test_xorp_platforms(self):
+        for name in ("pentium3", "xeon", "ixp2400"):
+            router = build_system(name)
+            assert isinstance(router, XorpRouter)
+            assert router.spec.name == name
+
+    def test_cisco(self):
+        assert isinstance(build_system("cisco"), CiscoRouter)
+
+    def test_fresh_instances(self):
+        a, b = build_system("xeon"), build_system("xeon")
+        assert a is not b
+        assert a.speaker is not b.speaker
+
+    def test_ixp_has_offload_machine(self):
+        router = build_system("ixp2400")
+        assert len(router.world.machines) == 2
+        assert router.softnet.machine is not router.machine
+
+    def test_shared_platform_single_machine(self):
+        router = build_system("pentium3")
+        assert len(router.world.machines) == 1
+        assert router.softnet.blocked_by is router.kernel

@@ -1,0 +1,196 @@
+"""Tests for the AS topology and Gao-Rexford valley-free propagation."""
+
+import pytest
+
+from repro.workload.astopo import (
+    AsTopology,
+    AsTopologyError,
+    Relationship,
+    generate_policy_table,
+    valley_free_paths,
+)
+
+
+def tiny_topology():
+    """O is A's customer; A peers with B; V is B's customer."""
+    topology = AsTopology()
+    for asn, tier in ((10, 3), (20, 1), (30, 1), (40, 3)):
+        topology.add_as(asn, tier)
+    topology.relate(10, 20, Relationship.PROVIDER)  # 20 is 10's provider
+    topology.relate(20, 30, Relationship.PEER)
+    topology.relate(40, 30, Relationship.PROVIDER)  # 30 is 40's provider
+    return topology
+
+
+class TestTopology:
+    def test_relationships_inverse(self):
+        topology = tiny_topology()
+        assert topology.relationship(10, 20) is Relationship.PROVIDER
+        assert topology.relationship(20, 10) is Relationship.CUSTOMER
+        assert topology.relationship(20, 30) is Relationship.PEER
+        assert topology.relationship(30, 20) is Relationship.PEER
+
+    def test_duplicate_as_rejected(self):
+        topology = AsTopology()
+        topology.add_as(1)
+        with pytest.raises(AsTopologyError):
+            topology.add_as(1)
+
+    def test_self_relationship_rejected(self):
+        topology = AsTopology()
+        topology.add_as(1)
+        with pytest.raises(AsTopologyError):
+            topology.relate(1, 1, Relationship.PEER)
+
+    def test_customers(self):
+        topology = tiny_topology()
+        assert topology.customers(20) == [10]
+        assert topology.customers(10) == []
+
+    def test_hierarchy_structure(self):
+        topology = AsTopology.hierarchy(tier1=3, tier2=6, stubs=20, seed=1)
+        assert len(topology) == 29
+        tier1 = [a for a in topology.ases() if topology.tier_of(a) == 1]
+        # Tier-1 full peering clique.
+        for a in tier1:
+            for b in tier1:
+                if a != b:
+                    assert topology.relationship(a, b) is Relationship.PEER
+        # Every stub has at least one provider.
+        for asn in topology.ases():
+            if topology.tier_of(asn) == 3:
+                providers = [
+                    n for n, rel in topology.neighbors(asn).items()
+                    if rel is Relationship.PROVIDER
+                ]
+                assert providers
+
+    def test_hierarchy_deterministic(self):
+        a = AsTopology.hierarchy(seed=7)
+        b = AsTopology.hierarchy(seed=7)
+        for asn in a.ases():
+            assert a.neighbors(asn) == b.neighbors(asn)
+
+
+def is_valley_free(topology, full_path):
+    """Check the up* [flat] down* pattern along origin -> receiver.
+
+    *full_path* is receiver-first (receiver, ..., origin); propagation
+    direction is origin -> receiver, so walk it reversed.
+    """
+    hops = list(reversed(full_path))  # origin ... receiver
+    seen_flat_or_down = False
+    for sender, receiver in zip(hops, hops[1:]):
+        rel = topology.relationship(sender, receiver)
+        if rel is Relationship.PROVIDER:  # receiver is sender's provider: up
+            if seen_flat_or_down:
+                return False
+        elif rel is Relationship.PEER:
+            if seen_flat_or_down:
+                return False
+            seen_flat_or_down = True
+        elif rel is Relationship.CUSTOMER:  # down
+            seen_flat_or_down = True
+        else:
+            return False  # no link at all
+    return True
+
+
+class TestValleyFree:
+    def test_unknown_origin(self):
+        with pytest.raises(AsTopologyError):
+            valley_free_paths(tiny_topology(), 999)
+
+    def test_up_flat_down_path_found(self):
+        topology = tiny_topology()
+        paths = valley_free_paths(topology, 10)
+        assert paths[40] == (30, 20, 10)
+        assert paths[10] == ()
+
+    def test_origin_path_empty(self):
+        assert valley_free_paths(tiny_topology(), 10)[10] == ()
+
+    def test_two_peer_hops_blocked(self):
+        """peer-learned routes are not exported to another peer."""
+        topology = AsTopology()
+        for asn in (1, 2, 3):
+            topology.add_as(asn)
+        topology.relate(1, 2, Relationship.PEER)
+        topology.relate(2, 3, Relationship.PEER)
+        paths = valley_free_paths(topology, 1)
+        assert 2 in paths
+        assert 3 not in paths  # would need peer -> peer
+
+    def test_provider_learned_not_sent_upward(self):
+        """Routes learned from a provider are not exported to another
+        provider (no transit for free)."""
+        topology = AsTopology()
+        for asn in (1, 2, 3):
+            topology.add_as(asn)
+        topology.relate(2, 1, Relationship.PROVIDER)  # 1 is 2's provider
+        topology.relate(2, 3, Relationship.PROVIDER)  # 3 is 2's provider
+        paths = valley_free_paths(topology, 1)
+        # 2 learns from its provider 1; it must not give 3 transit.
+        assert 2 in paths
+        assert 3 not in paths
+
+    def test_peer_route_preferred_over_provider_route(self):
+        topology = tiny_topology()
+        # Give V (40) a direct peering with the origin (10).
+        topology.relate(40, 10, Relationship.PEER)
+        paths = valley_free_paths(topology, 10)
+        assert paths[40] == (10,)
+
+    def test_customer_route_preferred_over_peer_route(self):
+        topology = tiny_topology()
+        # Make origin ALSO a customer of 40.
+        topology.relate(10, 40, Relationship.PROVIDER)  # 40 is 10's provider
+        paths = valley_free_paths(topology, 10)
+        assert paths[40] == (10,)
+        # And 40 now exports its customer route everywhere: 30 can use it.
+        assert paths[30] in ((40, 10), (20, 10))
+
+    def test_all_paths_valley_free_in_hierarchy(self):
+        topology = AsTopology.hierarchy(tier1=3, tier2=8, stubs=24, seed=3)
+        stubs = [a for a in topology.ases() if topology.tier_of(a) == 3]
+        for origin in stubs[:5]:
+            paths = valley_free_paths(topology, origin)
+            for viewer, path in paths.items():
+                if viewer == origin:
+                    continue
+                full = (viewer,) + path
+                assert is_valley_free(topology, full), (origin, viewer, full)
+                assert len(set(full)) == len(full)  # loop-free
+
+    def test_hierarchy_fully_reachable(self):
+        topology = AsTopology.hierarchy(seed=42)
+        stub = [a for a in topology.ases() if topology.tier_of(a) == 3][0]
+        paths = valley_free_paths(topology, stub)
+        assert len(paths) == len(topology)
+
+
+class TestPolicyTable:
+    def test_generates_requested_size(self):
+        table = generate_policy_table(200, seed=5)
+        assert len(table) == 200
+
+    def test_paths_policy_shaped_not_constant(self):
+        table = generate_policy_table(300, seed=5)
+        lengths = {len(entry.path_via(65101)) for entry in table}
+        assert len(lengths) >= 3  # a distribution, not a constant
+
+    def test_deterministic(self):
+        a = generate_policy_table(100, seed=9)
+        b = generate_policy_table(100, seed=9)
+        assert a.prefixes() == b.prefixes()
+        assert [e.transit for e in a] == [e.transit for e in b]
+
+    def test_feeds_the_benchmark(self):
+        """A policy-shaped table drives the benchmark end to end."""
+        from repro.benchmark import run_scenario
+        from repro.systems import build_system
+
+        table = generate_policy_table(150, seed=4)
+        result = run_scenario(build_system("pentium3"), 1, table=table)
+        assert result.transactions == 150
+        assert result.fib_size_after == 150

@@ -1,0 +1,53 @@
+"""Unit tests for cross-traffic load descriptions."""
+
+import pytest
+
+from repro.workload.crosstraffic import (
+    PLATFORM_MAX_MBPS,
+    CrossTrafficLoad,
+    sweep_levels,
+)
+
+
+class TestCrossTrafficLoad:
+    def test_packets_per_second(self):
+        load = CrossTrafficLoad(mbps=300.0, packet_bytes=1000)
+        assert load.packets_per_second == pytest.approx(37500.0)
+
+    def test_zero_rate(self):
+        assert CrossTrafficLoad(0.0).packets_per_second == 0.0
+
+    def test_capped(self):
+        load = CrossTrafficLoad(1000.0)
+        assert load.capped(315.0).mbps == 315.0
+        assert load.capped(2000.0).mbps == 1000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrossTrafficLoad(-1.0)
+        with pytest.raises(ValueError):
+            CrossTrafficLoad(100.0, packet_bytes=0)
+
+
+class TestSweepLevels:
+    def test_endpoints(self):
+        levels = sweep_levels("pentium3", points=6)
+        assert levels[0] == 0.0
+        assert levels[-1] == PLATFORM_MAX_MBPS["pentium3"]
+        assert len(levels) == 6
+
+    def test_monotonic(self):
+        levels = sweep_levels("xeon", points=9)
+        assert levels == sorted(levels)
+
+    def test_platform_specific_maxima(self):
+        assert sweep_levels("cisco")[-1] == 78.0
+        assert sweep_levels("ixp2400")[-1] == 940.0
+
+    def test_minimum_points(self):
+        with pytest.raises(ValueError):
+            sweep_levels("xeon", points=1)
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError):
+            sweep_levels("vax")

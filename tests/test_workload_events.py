@@ -1,0 +1,105 @@
+"""Tests for scripted update timelines."""
+
+import pytest
+
+from repro.benchmark.harness import SPEAKER1, SPEAKER1_ADDR, SPEAKER1_ASN
+from repro.bgp.policy import ACCEPT_ALL
+from repro.bgp.speaker import PeerConfig
+from repro.systems import build_system
+from repro.workload.events import Timeline, steady_state_churn
+from repro.workload.tablegen import generate_table
+from repro.workload.updates import UpdateStreamBuilder
+
+BUILDER = UpdateStreamBuilder(SPEAKER1_ASN, SPEAKER1_ADDR)
+
+
+def prepared_router(platform="xeon"):
+    router = build_system(platform)
+    router.add_peer(
+        PeerConfig(SPEAKER1, SPEAKER1_ASN, SPEAKER1_ADDR, ACCEPT_ALL, ACCEPT_ALL)
+    )
+    router.handshake(SPEAKER1, SPEAKER1_ASN, SPEAKER1_ADDR)
+    return router
+
+
+class TestTimelineConstruction:
+    def test_add_and_order(self):
+        timeline = Timeline()
+        timeline.add(2.0, "a", b"late")
+        timeline.add(1.0, "a", b"early")
+        deliveries = timeline.deliveries()
+        assert [d.packet for d in deliveries] == [b"early", b"late"]
+        assert timeline.end_time == 2.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline().add(-1.0, "a", b"x")
+
+    def test_burst(self):
+        timeline = Timeline().add_burst(5.0, "a", [b"1", b"2", b"3"])
+        assert len(timeline) == 3
+        assert all(d.time == 5.0 for d in timeline.deliveries())
+
+    def test_paced(self):
+        timeline = Timeline().add_paced(1.0, "a", [b"1", b"2", b"3"], rate=2.0)
+        times = [d.time for d in timeline.deliveries()]
+        assert times == [1.0, 1.5, 2.0]
+
+    def test_paced_rate_validation(self):
+        with pytest.raises(ValueError):
+            Timeline().add_paced(0.0, "a", [b"x"], rate=0.0)
+
+    def test_poisson_bounded_by_duration(self):
+        packets = [bytes([i % 256]) for i in range(10_000)]
+        timeline = Timeline().add_poisson(0.0, 10.0, "a", packets, rate=100.0, seed=1)
+        assert all(d.time < 10.0 for d in timeline.deliveries())
+        # Mean 100/s over 10s: expect ~1000 arrivals, loosely.
+        assert 700 <= len(timeline) <= 1300
+
+    def test_poisson_deterministic_per_seed(self):
+        packets = [b"x"] * 500
+        a = Timeline().add_poisson(0.0, 5.0, "a", packets, rate=50.0, seed=7)
+        b = Timeline().add_poisson(0.0, 5.0, "a", packets, rate=50.0, seed=7)
+        assert [d.time for d in a.deliveries()] == [d.time for d in b.deliveries()]
+
+    def test_packets_between(self):
+        timeline = Timeline().add_paced(0.0, "a", [b"x"] * 10, rate=1.0)
+        assert timeline.packets_between(0.0, 5.0) == 5
+
+    def test_composition(self):
+        table = generate_table(20, seed=2)
+        timeline = Timeline()
+        timeline.add_burst(0.0, "a", BUILDER.announcements(table, 20))
+        timeline.add_paced(10.0, "a", BUILDER.withdrawals(table, 1), rate=10.0)
+        assert timeline.packets_between(0.0, 1.0) == 1
+        assert timeline.packets_between(10.0, 12.0) == 20
+
+
+class TestExecution:
+    def test_deliver_to_router(self):
+        router = prepared_router()
+        table = generate_table(50, seed=4)
+        timeline = Timeline().add_paced(
+            0.0, SPEAKER1, BUILDER.announcements(table, 1), rate=1000.0
+        )
+        timeline.deliver_to(router)
+        router.run_until_idle()
+        assert len(router.speaker.loc_rib) == 50
+        # Last delivery at 49 ms: the run must span at least that.
+        assert router.now >= 0.049
+
+    def test_steady_state_churn_is_processable(self):
+        router = prepared_router()
+        table = generate_table(100, seed=5)
+        timeline = steady_state_churn(SPEAKER1, table, BUILDER, duration=5.0, rate=100.0)
+        timeline.deliver_to(router)
+        router.run_until_idle()
+        # The Xeon absorbs 100/s trivially: total processed transactions
+        # equal the offered count.
+        assert router.transactions_completed == len(timeline)
+
+    def test_churn_rate_approximates_target(self):
+        table = generate_table(100, seed=5)
+        timeline = steady_state_churn(SPEAKER1, table, BUILDER, duration=20.0, rate=100.0)
+        observed = len(timeline) / 20.0
+        assert 70 <= observed <= 130

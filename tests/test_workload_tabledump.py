@@ -1,0 +1,101 @@
+"""Tests for the table dump/load format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addr import IPv4Address, Prefix
+from repro.workload.tabledump import (
+    MAGIC,
+    TableFormatError,
+    dumps,
+    load,
+    loads,
+    save,
+)
+from repro.workload.tablegen import RouteEntry, SyntheticTable, generate_table
+from repro.workload.astopo import generate_policy_table
+
+
+class TestRoundTrip:
+    def test_generated_table(self):
+        table = generate_table(300, seed=11)
+        restored = loads(dumps(table))
+        assert restored.seed == 11
+        assert restored.prefixes() == table.prefixes()
+        assert [e.origin_as for e in restored] == [e.origin_as for e in table]
+        assert [e.transit for e in restored] == [e.transit for e in table]
+
+    def test_policy_table(self):
+        table = generate_policy_table(100, seed=3)
+        restored = loads(dumps(table))
+        assert [e.transit for e in restored] == [e.transit for e in table]
+
+    def test_empty_table(self):
+        table = SyntheticTable([], seed=0)
+        assert len(loads(dumps(table))) == 0
+
+    def test_file_round_trip(self, tmp_path):
+        table = generate_table(50, seed=4)
+        path = tmp_path / "table.bgt"
+        size = save(table, path)
+        assert path.stat().st_size == size
+        assert load(path).prefixes() == table.prefixes()
+
+    def test_bytes_deterministic(self):
+        assert dumps(generate_table(80, seed=2)) == dumps(generate_table(80, seed=2))
+
+    @settings(max_examples=25)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=0xFFFFFFFF),
+                st.integers(min_value=0, max_value=32),
+                st.integers(min_value=1, max_value=0xFFFF),
+                st.lists(st.integers(min_value=1, max_value=0xFFFF), max_size=6),
+            ),
+            max_size=20,
+        )
+    )
+    def test_arbitrary_entries_round_trip(self, raw):
+        entries = [
+            RouteEntry(
+                Prefix.from_address(IPv4Address(network), length),
+                origin,
+                tuple(transit),
+            )
+            for network, length, origin, transit in raw
+        ]
+        table = SyntheticTable(entries, seed=1)
+        restored = loads(dumps(table))
+        assert [(e.prefix, e.origin_as, e.transit) for e in restored] == [
+            (e.prefix, e.origin_as, e.transit) for e in entries
+        ]
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(TableFormatError):
+            loads(b"NOPE" + b"\x00" * 8)
+
+    def test_truncated_header(self):
+        with pytest.raises(TableFormatError):
+            loads(MAGIC + b"\x00\x00")
+
+    def test_truncated_entries(self):
+        data = dumps(generate_table(10, seed=1))
+        with pytest.raises(TableFormatError):
+            loads(data[:-3])
+
+    def test_trailing_bytes(self):
+        data = dumps(generate_table(5, seed=1))
+        with pytest.raises(TableFormatError):
+            loads(data + b"\x00")
+
+    def test_bad_prefix_length(self):
+        data = bytearray(dumps(SyntheticTable(
+            [RouteEntry(Prefix.parse("10.0.0.0/8"), 100, ())], seed=0
+        )))
+        data[12] = 60  # corrupt the prefix-length byte
+        with pytest.raises(TableFormatError):
+            loads(bytes(data))

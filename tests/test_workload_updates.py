@@ -1,0 +1,101 @@
+"""Unit tests for the UPDATE stream builders."""
+
+import pytest
+
+from repro.bgp.messages import UpdateMessage, decode_message
+from repro.net.addr import IPv4Address
+from repro.workload.tablegen import generate_table
+from repro.workload.updates import LARGE_UPDATE_PREFIXES, UpdateStreamBuilder
+
+ADDR = IPv4Address.parse("10.255.1.1")
+
+
+@pytest.fixture
+def builder():
+    return UpdateStreamBuilder(65101, ADDR)
+
+
+@pytest.fixture
+def table():
+    return generate_table(1203, seed=3)
+
+
+class TestAnnouncements:
+    def test_small_packets_one_prefix_each(self, builder, table):
+        packets = builder.announcements(table, prefixes_per_update=1)
+        assert len(packets) == len(table)
+        first = decode_message(packets[0])
+        assert isinstance(first, UpdateMessage)
+        assert len(first.nlri) == 1
+
+    def test_large_packets_batch_500(self, builder, table):
+        packets = builder.announcements(table, prefixes_per_update=LARGE_UPDATE_PREFIXES)
+        assert len(packets) == 3  # 500 + 500 + 203
+        sizes = [len(decode_message(p).nlri) for p in packets]
+        assert sizes == [500, 500, 203]
+
+    def test_covers_whole_table_exactly_once(self, builder, table):
+        packets = builder.announcements(table, prefixes_per_update=100)
+        seen = []
+        for packet in packets:
+            seen.extend(decode_message(packet).nlri)
+        assert sorted(seen) == sorted(table.prefixes())
+
+    def test_next_hop_and_first_as(self, builder, table):
+        packet = decode_message(builder.announcements(table, 1)[0])
+        assert packet.attributes.next_hop == ADDR
+        assert packet.attributes.as_path.first_as() == 65101
+
+    def test_extra_hops_lengthen_path(self, builder, table):
+        base = decode_message(builder.announcements(table, 1, extra_hops=0)[0])
+        longer = decode_message(builder.announcements(table, 1, extra_hops=2)[0])
+        shorter = decode_message(builder.announcements(table, 1, extra_hops=-2)[0])
+        base_len = base.attributes.as_path.length()
+        assert longer.attributes.as_path.length() == base_len + 2
+        assert shorter.attributes.as_path.length() < base_len
+
+    def test_bad_packing_rejected(self, builder, table):
+        with pytest.raises(ValueError):
+            builder.announcements(table, prefixes_per_update=0)
+
+
+class TestWithdrawals:
+    def test_small_withdrawals(self, builder, table):
+        packets = builder.withdrawals(table, prefixes_per_update=1)
+        assert len(packets) == len(table)
+        first = decode_message(packets[0])
+        assert len(first.withdrawn) == 1
+        assert first.nlri == ()
+
+    def test_large_withdrawals(self, builder, table):
+        packets = builder.withdrawals(table, prefixes_per_update=500)
+        sizes = [len(decode_message(p).withdrawn) for p in packets]
+        assert sizes == [500, 500, 203]
+
+    def test_covers_table(self, builder, table):
+        packets = builder.withdrawals(table, prefixes_per_update=77)
+        seen = []
+        for packet in packets:
+            seen.extend(decode_message(packet).withdrawn)
+        assert sorted(seen) == sorted(table.prefixes())
+
+
+class TestFlapStorm:
+    def test_alternates_announce_withdraw(self, builder):
+        table = generate_table(50, seed=9)
+        packets = builder.flap_storm(table, rounds=4, prefixes_per_update=50)
+        kinds = []
+        for packet in packets:
+            message = decode_message(packet)
+            kinds.append("w" if message.withdrawn else "a")
+        assert kinds == ["a", "w", "a", "w"]
+
+    def test_round_count_scales_volume(self, builder):
+        table = generate_table(30, seed=9)
+        two = builder.flap_storm(table, rounds=2, prefixes_per_update=1)
+        six = builder.flap_storm(table, rounds=6, prefixes_per_update=1)
+        assert len(six) == 3 * len(two)
+
+    def test_bad_rounds_rejected(self, builder):
+        with pytest.raises(ValueError):
+            builder.flap_storm(generate_table(5), rounds=0)
