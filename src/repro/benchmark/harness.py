@@ -13,6 +13,7 @@ of the router's processing, as a real TCP receive window enforces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.bgp.policy import ACCEPT_ALL
 from repro.bgp.speaker import PeerConfig
@@ -39,6 +40,139 @@ SETUP_PACKING = 500
 
 
 @dataclass(slots=True)
+class StallDiagnostics:
+    """Why a phase stopped making progress, captured at detection time."""
+
+    reason: str
+    virtual_time: float
+    inflight: int
+    packets_sent: int
+    packets_total: int
+    packets_completed: int
+    events_fired: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.reason} at t={self.virtual_time:.3f}s: "
+            f"{self.packets_sent}/{self.packets_total} packets fed, "
+            f"{self.inflight} in flight, "
+            f"{self.packets_completed} completed, "
+            f"{self.events_fired} events fired"
+        )
+
+
+class StallError(RuntimeError):
+    """A stream made no progress; carries the :class:`StallDiagnostics`."""
+
+    def __init__(self, diagnostics: StallDiagnostics):
+        super().__init__(diagnostics.describe())
+        self.diagnostics = diagnostics
+
+
+class Watchdog:
+    """A virtual-time stall detector for windowed packet streams.
+
+    Every *interval* virtual seconds it compares the router's completed
+    packet count against the previous check. *patience* consecutive
+    checks without a completion while simulator events kept firing is a
+    livelock — something (a retransmission storm, a runaway timer) is
+    spinning the event loop without finishing work — and the watchdog
+    raises :class:`StallError` out of the run loop instead of letting
+    ``run_until_idle`` spin forever. If nothing fired either, the world
+    is quiescing or grinding a long CPU job; the watchdog disarms and
+    leaves the deadlock check at end of stream to judge the outcome.
+
+    The check is a *daemon* event (:meth:`Simulator.schedule`): it
+    fires while real work keeps the clock moving but never keeps the
+    world alive by itself, so an armed watchdog adds zero virtual time
+    to a stream that completes. One event handle is reused across
+    checks (``EventHandle.reschedule``).
+    """
+
+    def __init__(self, router: RouterSystem, interval: float = 60.0, patience: int = 2):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1: {patience}")
+        self.router = router
+        self.interval = interval
+        self.patience = patience
+        self._handle = None
+        self._armed = False
+        self._own_fires = 0
+        self._strikes = 0
+        self._last_completed = 0
+        self._last_events = 0
+        self._progress: Callable[[], int] | None = None
+
+    def arm(self, progress: Callable[[], int] | None = None) -> None:
+        """Start watching. *progress* overrides the progress metric
+        (default: the router's completed-packet count)."""
+        self._progress = progress
+        self._armed = True
+        self._strikes = 0
+        self._last_completed = self._read_progress()
+        self._last_events = self._events_elsewhere()
+        sim = self.router.world.sim
+        if self._handle is None:
+            self._handle = sim.schedule(self.interval, self._check, daemon=True)
+        else:
+            self._handle.reschedule(self.interval)
+
+    def disarm(self) -> None:
+        self._armed = False
+        if self._handle is not None:
+            self._handle.cancel()
+
+    def _read_progress(self) -> int:
+        if self._progress is not None:
+            return self._progress()
+        return self.router.packets_completed
+
+    def _events_elsewhere(self) -> int:
+        """Events fired by everything except this watchdog."""
+        return self.router.world.sim.events_fired - self._own_fires
+
+    def _check(self) -> None:
+        self._own_fires += 1
+        if not self._armed:
+            return
+        completed = self._read_progress()
+        events = self._events_elsewhere()
+        if completed != self._last_completed:
+            self._strikes = 0
+        else:
+            self._strikes += 1
+            if self._strikes >= self.patience:
+                if events != self._last_events:
+                    raise StallError(self._diagnose(
+                        "no packet completed despite live event traffic "
+                        f"for {self._strikes * self.interval:g} virtual seconds"
+                    ))
+                # Nothing fired either: the world is about to go idle
+                # (deadlock — caught after the run returns) or is stuck
+                # in a long fluid-CPU grind. Stop rescheduling so the
+                # run loop can actually return.
+                self.disarm()
+                return
+        self._last_completed = completed
+        self._last_events = events
+        assert self._handle is not None
+        self._handle.reschedule(self.interval)
+
+    def _diagnose(self, reason: str, inflight: int = -1, sent: int = -1, total: int = -1) -> StallDiagnostics:
+        return StallDiagnostics(
+            reason=reason,
+            virtual_time=self.router.world.sim.now,
+            inflight=inflight,
+            packets_sent=sent,
+            packets_total=total,
+            packets_completed=self._read_progress(),
+            events_fired=self._events_elsewhere(),
+        )
+
+
+@dataclass(slots=True)
 class PhaseTrace:
     """Timing of one benchmark phase."""
 
@@ -46,6 +180,8 @@ class PhaseTrace:
     start: float
     end: float
     transactions: int
+    completed: bool = True
+    stall: StallDiagnostics | None = None
 
     @property
     def duration(self) -> float:
@@ -68,6 +204,18 @@ class ScenarioResult:
     fib_size_after: int = 0
 
     @property
+    def completed(self) -> bool:
+        """False when any phase was cut short by a detected stall."""
+        return all(phase.completed for phase in self.phases)
+
+    @property
+    def stalled_phase(self) -> PhaseTrace | None:
+        for phase in self.phases:
+            if not phase.completed:
+                return phase
+        return None
+
+    @property
     def transactions_per_second(self) -> float:
         if self.duration <= 0:
             return 0.0
@@ -79,12 +227,32 @@ def stream_packets(
     peer_id: str,
     packets: "list[bytes]",
     window: int,
+    deliver: "Callable[[bytes], None] | None" = None,
+    watchdog: Watchdog | None = None,
 ) -> None:
     """Deliver *packets* to *peer_id* with at most *window* in flight
     (TCP backpressure), then run the simulation dry. Public: workload
-    examples use this to drive custom packet streams."""
+    examples use this to drive custom packet streams.
+
+    *deliver* overrides per-packet delivery — e.g. a
+    :class:`repro.faults.link.FaultyLink`'s ``send`` — while the window
+    still tracks the router's completion callbacks. *watchdog* arms a
+    virtual-time stall detector for the duration of the stream; with or
+    without one, a stream that goes idle with packets unaccounted for
+    (a fault link lost them and the window can never refill) raises
+    :class:`StallError` instead of returning as if it had finished.
+
+    The in-flight accounting is exception-safe: a delivery that raises
+    mid-feed rolls its window slot back, so the count stays truthful
+    for whoever catches the error, and the router's ``on_packet_done``
+    hook is always restored.
+    """
     iterator = iter(packets)
-    state = {"inflight": 0}
+    total = len(packets)
+    send = deliver if deliver is not None else (
+        lambda data: router.deliver(peer_id, data)
+    )
+    state = {"inflight": 0, "sent": 0}
 
     def feed() -> None:
         while state["inflight"] < window:
@@ -92,18 +260,40 @@ def stream_packets(
             if packet is None:
                 return
             state["inflight"] += 1
-            router.deliver(peer_id, packet)
+            state["sent"] += 1
+            try:
+                send(packet)
+            except BaseException:
+                state["inflight"] -= 1
+                state["sent"] -= 1
+                raise
 
     def on_done() -> None:
         state["inflight"] -= 1
         feed()
 
+    previous = router.on_packet_done
     router.on_packet_done = on_done
+    if watchdog is not None:
+        watchdog.arm()
     try:
         feed()
         router.run_until_idle()
     finally:
-        router.on_packet_done = None
+        if watchdog is not None:
+            watchdog.disarm()
+        router.on_packet_done = previous
+
+    if state["inflight"] > 0 or state["sent"] < total:
+        raise StallError(StallDiagnostics(
+            reason="delivery window deadlocked (packets lost in flight)",
+            virtual_time=router.world.sim.now,
+            inflight=state["inflight"],
+            packets_sent=state["sent"],
+            packets_total=total,
+            packets_completed=router.packets_completed,
+            events_fired=router.world.sim.events_fired,
+        ))
 
 
 def run_scenario(
@@ -115,6 +305,8 @@ def run_scenario(
     seed: int = 42,
     table: SyntheticTable | None = None,
     settle_after: float = 0.0,
+    deliver: "dict[str, Callable[[bytes], None]] | None" = None,
+    watchdog: Watchdog | None = None,
 ) -> ScenarioResult:
     """Run one benchmark scenario against a fresh router under test.
 
@@ -122,16 +314,46 @@ def run_scenario(
     *settle_after* keeps the simulation running for that many extra
     seconds after the measured phase so forwarding-rate monitors record
     the recovery tail (Figure 6(c)).
+
+    *deliver* optionally maps a speaker id to a delivery override (a
+    :class:`repro.faults.link.FaultyLink` ``send``), injecting faults
+    into that speaker's stream. *watchdog* (default: a fresh
+    :class:`Watchdog`) guards every streaming phase; a phase that
+    stalls — livelocked event traffic or a deadlocked window — is
+    recorded as a failed :class:`PhaseTrace` carrying the
+    :class:`StallDiagnostics`, the remaining phases are skipped, and
+    the result comes back with ``completed=False`` instead of the
+    harness hanging.
     """
     spec = get_scenario(scenario)
     if table is None:
         table = generate_table(table_size, seed)
     if len(router.speaker.loc_rib):
         raise ValueError("router under test must start with empty RIBs")
+    deliver = deliver or {}
+    if watchdog is None:
+        watchdog = Watchdog(router)
 
     speaker1 = UpdateStreamBuilder(SPEAKER1_ASN, SPEAKER1_ADDR)
     speaker2 = UpdateStreamBuilder(SPEAKER2_ASN, SPEAKER2_ADDR)
     phases: list[PhaseTrace] = []
+
+    def run_stream_phase(phase: int, sender: str, packets: "list[bytes]") -> PhaseTrace:
+        router.reset_counters()
+        start = router.now
+        try:
+            stream_packets(
+                router, sender, packets, window,
+                deliver=deliver.get(sender), watchdog=watchdog,
+            )
+        except StallError as error:
+            return PhaseTrace(
+                phase, start, router.now, router.transactions_completed,
+                completed=False, stall=error.diagnostics,
+            )
+        return PhaseTrace(
+            phase, start, router.last_completion, router.transactions_completed
+        )
 
     router.add_peer(
         PeerConfig(SPEAKER1, SPEAKER1_ASN, SPEAKER1_ADDR, ACCEPT_ALL, ACCEPT_ALL)
@@ -144,15 +366,12 @@ def run_scenario(
     phase1_packing = (
         spec.prefixes_per_update if spec.measured_phase == 1 else SETUP_PACKING
     )
-    router.reset_counters()
-    start = router.now
-    stream_packets(router, SPEAKER1, speaker1.announcements(table, phase1_packing), window)
     phases.append(
-        PhaseTrace(1, start, router.last_completion, router.transactions_completed)
+        run_stream_phase(1, SPEAKER1, speaker1.announcements(table, phase1_packing))
     )
 
     # ---- Phase 2: initial transfer to Speaker 2 (scenarios 5-8) -----------
-    if spec.uses_second_speaker:
+    if spec.uses_second_speaker and phases[-1].completed:
         router.add_peer(
             PeerConfig(SPEAKER2, SPEAKER2_ASN, SPEAKER2_ADDR, ACCEPT_ALL, ACCEPT_ALL)
         )
@@ -164,7 +383,7 @@ def run_scenario(
         phases.append(PhaseTrace(2, start, router.now, 0))
 
     # ---- Phase 3 / measurement -------------------------------------------------
-    if spec.measured_phase == 3:
+    if spec.measured_phase == 3 and phases[-1].completed:
         if spec.update_type == "WITHDRAW":
             packets = speaker1.withdrawals(table, spec.prefixes_per_update)
             sender = SPEAKER1
@@ -173,15 +392,10 @@ def run_scenario(
                 table, spec.prefixes_per_update, extra_hops=spec.path_extra_hops
             )
             sender = SPEAKER2
-        router.reset_counters()
-        start = router.now
-        stream_packets(router, sender, packets, window)
-        phases.append(
-            PhaseTrace(3, start, router.last_completion, router.transactions_completed)
-        )
+        phases.append(run_stream_phase(3, sender, packets))
 
     measured = phases[-1]
-    if settle_after > 0:
+    if settle_after > 0 and measured.completed:
         router.run_until_idle(extra=settle_after)
 
     return ScenarioResult(
@@ -220,18 +434,23 @@ def stream_interleaved(
                 continue
             idle_passes = 0
             state["inflight"] += 1
-            router.deliver(peer_id, packet)
+            try:
+                router.deliver(peer_id, packet)
+            except BaseException:
+                state["inflight"] -= 1
+                raise
 
     def on_done() -> None:
         state["inflight"] -= 1
         feed()
 
+    previous = router.on_packet_done
     router.on_packet_done = on_done
     try:
         feed()
         router.run_until_idle()
     finally:
-        router.on_packet_done = None
+        router.on_packet_done = previous
 
 
 @dataclass(slots=True)

@@ -1,0 +1,223 @@
+"""Session-recovery benchmarks: re-convergence speed after a reset.
+
+The paper's eight scenarios measure a router that never loses a
+session. This family measures the complementary number: how fast the
+router gets its table *back* when a session dies mid-stream — the
+figure that dominates perceived outage length in deployment.
+
+The methodology mirrors the three-phase harness:
+
+1. **Baseline** (unmeasured): the replay stream runs once over direct
+   wiring with no faults. Its duration calibrates the fault script —
+   scenario fault times are fractions of this baseline, so "a crash
+   halfway through the phase" means the same thing on a 233 MHz XScale
+   as on a 3 GHz Xeon.
+2. **Measured replay**: the same stream runs through a
+   :class:`~repro.faults.link.FaultyLink` under the scenario's policy
+   while the scripted faults (crash, partition, flap storm) fire on the
+   virtual clock. A :class:`~repro.faults.recovery.SessionRecovery`
+   re-establishes every downed session with backed-off, deterministic
+   reconnects. After a teardown flushes routes, BGP semantics require a
+   full-table resend, so the stream is replayed in rounds until the
+   Loc-RIB holds the whole table again (or ``max_rounds`` gives up).
+
+The metric is transactions per second over the whole recovery — every
+prefix processed, including re-sent ones, divided by the time from
+first replay packet to full re-convergence. Everything is seeded:
+same (scenario, platform, table, seed) → identical result, flap for
+flap, retransmit for retransmit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.benchmark.harness import (
+    DEFAULT_WINDOW,
+    SPEAKER1,
+    SPEAKER1_ADDR,
+    SPEAKER1_ASN,
+    StallDiagnostics,
+    StallError,
+    Watchdog,
+    stream_packets,
+)
+from repro.benchmark.scenarios import RecoveryScenario, get_recovery_scenario
+from repro.bgp.policy import ACCEPT_ALL
+from repro.bgp.speaker import PeerConfig
+from repro.faults.link import FaultyLink, LinkStats
+from repro.faults.recovery import Outage, SessionRecovery
+from repro.faults.script import FaultScript, FlapStorm, LinkPartition, PeerCrash
+from repro.systems.router import RouterSystem
+from repro.workload.tablegen import SyntheticTable, generate_table
+from repro.workload.updates import UpdateStreamBuilder
+
+
+@dataclass(slots=True)
+class RecoveryResult:
+    """Everything measured in one recovery scenario run."""
+
+    scenario: RecoveryScenario
+    platform: str
+    table_size: int
+    #: Fault-free duration of one replay of the same stream.
+    baseline_duration: float
+    #: Prefix-level changes processed across all recovery rounds.
+    transactions: int
+    #: First replay packet to full re-convergence.
+    duration: float
+    #: Replay rounds needed to restore the table (1 = the faults cost
+    #: no extra round).
+    rounds: int
+    converged: bool
+    #: Session-down episodes observed (scripted or fault-induced).
+    flaps: int
+    reconnects: int
+    reconnect_attempts: int
+    link_stats: LinkStats
+    outages: list[Outage] = field(default_factory=list)
+    #: Set when the watchdog or window accounting cut the run short.
+    stall: StallDiagnostics | None = None
+
+    @property
+    def completed(self) -> bool:
+        return self.stall is None
+
+    @property
+    def transactions_per_second(self) -> float:
+        """Re-convergence throughput — the family's headline metric."""
+        if self.duration <= 0:
+            return 0.0
+        return self.transactions / self.duration
+
+    @property
+    def recovery_overhead(self) -> float:
+        """Measured duration relative to the fault-free baseline."""
+        if self.baseline_duration <= 0:
+            return float("inf")
+        return self.duration / self.baseline_duration
+
+    @property
+    def total_downtime(self) -> float:
+        return sum(outage.downtime for outage in self.outages)
+
+
+def _build_script(spec: RecoveryScenario, baseline: float) -> FaultScript | None:
+    if spec.crash_count == 0 and spec.partition_fraction == 0:
+        return None
+    first_crash = spec.crash_fraction * baseline
+    events: "list[PeerCrash | FlapStorm | LinkPartition]" = []
+    if spec.crash_count == 1:
+        events.append(PeerCrash(first_crash, SPEAKER1))
+    elif spec.crash_count > 1:
+        events.append(
+            FlapStorm(
+                first_crash,
+                SPEAKER1,
+                spec.crash_count,
+                spec.crash_interval_fraction * baseline,
+            )
+        )
+    if spec.partition_fraction > 0:
+        events.append(
+            LinkPartition(first_crash, SPEAKER1, spec.partition_fraction * baseline)
+        )
+    return FaultScript(events)
+
+
+def run_recovery(
+    router: RouterSystem,
+    scenario: "str | RecoveryScenario",
+    table_size: int = 2000,
+    window: int = DEFAULT_WINDOW,
+    seed: int = 42,
+    table: SyntheticTable | None = None,
+    watchdog: Watchdog | None = None,
+) -> RecoveryResult:
+    """Run one recovery scenario against a fresh router under test.
+
+    *seed* drives both the synthetic table and the link's fault
+    schedule, so a (scenario, seed) pair replays exactly.
+    """
+    spec = get_recovery_scenario(scenario)
+    if table is None:
+        table = generate_table(table_size, seed)
+    if not len(table):
+        raise ValueError("recovery scenarios need a non-empty table")
+    if len(router.speaker.loc_rib):
+        raise ValueError("router under test must start with empty RIBs")
+    if watchdog is None:
+        watchdog = Watchdog(router)
+
+    router.add_peer(
+        PeerConfig(SPEAKER1, SPEAKER1_ASN, SPEAKER1_ADDR, ACCEPT_ALL, ACCEPT_ALL)
+    )
+    router.handshake(SPEAKER1, SPEAKER1_ASN, SPEAKER1_ADDR)
+    router.export_packing = spec.prefixes_per_update
+    builder = UpdateStreamBuilder(SPEAKER1_ASN, SPEAKER1_ADDR)
+    packets = builder.announcements(table, spec.prefixes_per_update)
+
+    # ---- Baseline: the replay stream, fault-free, over direct wiring ----
+    router.reset_counters()
+    start = router.now
+    stream_packets(router, SPEAKER1, packets, window, watchdog=watchdog)
+    baseline = router.last_completion - start
+
+    # ---- Measured replay through the faulty link ------------------------
+    link = FaultyLink(
+        router.world.sim,
+        lambda data: router.deliver(SPEAKER1, data),
+        spec.policy,
+        seed=seed,
+    )
+    recovery = SessionRecovery(router, SPEAKER1, SPEAKER1_ASN, SPEAKER1_ADDR, link=link)
+    script = _build_script(spec, baseline)
+    if script is not None:
+        script.arm(router, links={SPEAKER1: link})
+
+    router.reset_counters()
+    start = router.now
+    rounds = 0
+    converged = False
+    stall: StallDiagnostics | None = None
+    try:
+        while rounds < spec.max_rounds:
+            rounds += 1
+            try:
+                stream_packets(
+                    router, SPEAKER1, packets, window,
+                    deliver=link.send, watchdog=watchdog,
+                )
+            except StallError as error:
+                stall = error.diagnostics
+                break
+            # run_until_idle drained every scheduled event, so any flap
+            # the script injected has already played out — including the
+            # reconnect. Converged means the whole table is back on an
+            # established session with no outage left open.
+            if (
+                len(router.speaker.loc_rib) >= len(table)
+                and router.speaker.peers[SPEAKER1].established
+                and all(outage.recovered for outage in recovery.outages)
+            ):
+                converged = True
+                break
+    finally:
+        recovery.stop()
+
+    return RecoveryResult(
+        scenario=spec,
+        platform=router.spec.name,
+        table_size=len(table),
+        baseline_duration=baseline,
+        transactions=router.transactions_completed,
+        duration=router.last_completion - start,
+        rounds=rounds,
+        converged=converged,
+        flaps=len(recovery.outages),
+        reconnects=recovery.reconnects,
+        reconnect_attempts=recovery.total_attempts,
+        link_stats=link.stats,
+        outages=recovery.outages,
+        stall=stall,
+    )

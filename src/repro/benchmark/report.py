@@ -32,6 +32,37 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_recovery(results: "Sequence[object]") -> str:
+    """Render recovery-benchmark results (one row per scenario run).
+
+    *results* is a sequence of
+    :class:`repro.benchmark.recovery.RecoveryResult`.
+    """
+    rows = []
+    for result in results:
+        if result.stall is not None:
+            outcome = "STALLED"
+        elif not result.converged:
+            outcome = "gave up"
+        else:
+            outcome = "ok"
+        rows.append((
+            f"{result.scenario.name} @ {result.platform}",
+            (
+                result.transactions_per_second,
+                result.recovery_overhead,
+                float(result.flaps),
+                float(result.rounds),
+                outcome,
+            ),
+        ))
+    return format_table(
+        "Recovery: re-convergence after session reset",
+        ["trans/s", "overhead", "flaps", "rounds", "outcome"],
+        rows,
+    )
+
+
 def format_series(
     title: str,
     series: Mapping[str, Sequence[tuple[float, float]]],

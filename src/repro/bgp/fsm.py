@@ -10,9 +10,13 @@ time.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from enum import Enum, auto
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:
+    from repro.sim.engine import EventHandle, Simulator
 
 from repro.bgp.errors import (
     BgpError,
@@ -79,6 +83,48 @@ class Timers:
     connect_retry_deadline: float | None = None
 
 
+@dataclass(frozen=True, slots=True)
+class ReconnectBackoff:
+    """Exponential backoff with deterministic jitter for reconnects.
+
+    The delay for *attempt* (0-based) is ``base * multiplier**attempt``
+    capped at *cap*, scaled by a jitter factor drawn uniformly from
+    ``[1 - jitter, 1 + jitter]``. The jitter is a pure function of
+    ``(seed, attempt)``, so repeated runs of a seeded scenario produce
+    byte-identical retry schedules — the determinism the benchmark's
+    repeatability claim requires — while distinct seeds still desynchronise
+    reconnect storms the way RFC 4271 §8.2.1.1's DampPeerOscillations
+    intends.
+    """
+
+    base: float = 1.0
+    multiplier: float = 2.0
+    cap: float = 120.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def delay(self, attempt: int) -> float:
+        if attempt < 0:
+            raise ValueError(f"negative attempt: {attempt}")
+        raw = min(self.cap, self.base * self.multiplier ** min(attempt, 63))
+        if not self.jitter:
+            return raw
+        factor = random.Random((self.seed << 20) ^ attempt).uniform(
+            1.0 - self.jitter, 1.0 + self.jitter
+        )
+        return raw * factor
+
+
+#: Maps a timer name to the FSM event its expiry produces.
+_TIMER_EVENTS = {
+    "hold": Event.HOLD_TIMER_EXPIRES,
+    "keepalive": Event.KEEPALIVE_TIMER_EXPIRES,
+    "connect_retry": Event.CONNECT_RETRY_EXPIRES,
+}
+
+_TIMER_EPS = 1e-9
+
+
 class FsmViolation(Exception):
     """An event arrived in a state where it is a protocol error."""
 
@@ -99,6 +145,7 @@ class SessionFsm:
         hold_time: float = 90.0,
         connect_retry_time: float = 120.0,
         expected_peer_asn: int | None = None,
+        backoff: ReconnectBackoff | None = None,
     ):
         self.local_asn = local_asn
         self.local_identifier = local_identifier
@@ -110,10 +157,13 @@ class SessionFsm:
             hold_time=hold_time,
             keepalive_time=max(hold_time / 3.0, 1.0) if hold_time else 30.0,
         )
+        self.backoff = backoff
         self.peer_open: OpenMessage | None = None
         self.connect_retry_counter = 0
         self.last_error: NotificationData | None = None
         self._now = 0.0
+        self._sim: "Simulator | None" = None
+        self._timer_handles: dict[str, "EventHandle"] = {}
 
     # -- event entry points -------------------------------------------------
 
@@ -124,8 +174,9 @@ class SessionFsm:
         handler = _DISPATCH.get((self.state, event))
         if handler is None:
             self._fsm_error(event)
-            return
-        handler(self)
+        else:
+            handler(self)
+        self._sync_timers()
 
     def handle_message(self, message: BgpMessage, now: float | None = None) -> None:
         """Dispatch a decoded message as the corresponding FSM event."""
@@ -159,6 +210,54 @@ class SessionFsm:
             timers.keepalive_deadline = None
             self.handle(Event.KEEPALIVE_TIMER_EXPIRES)
 
+    # -- simulator-driven timers ---------------------------------------------
+
+    def attach_simulator(self, sim: "Simulator") -> None:
+        """Drive this session's timers from a virtual clock.
+
+        Once attached, every armed deadline is mirrored as a simulator
+        event, so the FSM fires hold/keepalive/connect-retry expiries on
+        its own during a :class:`~repro.sim.cpu.World` run — no caller
+        has to poll :meth:`tick`. Re-arming reuses one
+        :class:`~repro.sim.engine.EventHandle` per timer via
+        ``reschedule``, so steady-state keepalive traffic allocates no
+        new heap entries.
+        """
+        self._sim = sim
+        self._now = max(self._now, sim.now)
+        self._sync_timers()
+
+    def _sync_timers(self) -> None:
+        """Reconcile the three deadline fields with their sim events."""
+        sim = self._sim
+        if sim is None:
+            return
+        for name in _TIMER_EVENTS:
+            deadline: float | None = getattr(self.timers, f"{name}_deadline")
+            handle = self._timer_handles.get(name)
+            if deadline is None:
+                if handle is not None and handle.active:
+                    handle.cancel()
+                continue
+            if handle is not None and handle.active and abs(handle.time - deadline) < _TIMER_EPS:
+                continue
+            delay = max(0.0, deadline - sim.now)
+            if handle is None:
+                self._timer_handles[name] = sim.schedule(
+                    delay, lambda name=name: self._timer_due(name)
+                )
+            else:
+                handle.reschedule(delay)
+
+    def _timer_due(self, name: str) -> None:
+        sim = self._sim
+        assert sim is not None
+        deadline: float | None = getattr(self.timers, f"{name}_deadline")
+        if deadline is None or sim.now + _TIMER_EPS < deadline:
+            return  # stale wakeup: the deadline moved or was disarmed
+        setattr(self.timers, f"{name}_deadline", None)
+        self.handle(_TIMER_EVENTS[name], now=sim.now)
+
     # -- helpers -------------------------------------------------------------
 
     def _arm_hold(self) -> None:
@@ -170,7 +269,11 @@ class SessionFsm:
             self.timers.keepalive_deadline = self._now + self.timers.keepalive_time
 
     def _arm_connect_retry(self) -> None:
-        self.timers.connect_retry_deadline = self._now + self.timers.connect_retry_time
+        if self.backoff is not None:
+            delay = self.backoff.delay(self.connect_retry_counter)
+        else:
+            delay = self.timers.connect_retry_time
+        self.timers.connect_retry_deadline = self._now + delay
 
     def _disarm_all(self) -> None:
         self.timers.hold_deadline = None
@@ -217,6 +320,7 @@ class SessionFsm:
         self._send_notification(error.notification)
         self.last_error = error.notification
         self._to_idle(str(error))
+        self._sync_timers()
 
     def manual_stop_cease(self) -> None:
         self._send_notification(

@@ -25,7 +25,7 @@ from repro.bgp.damping import DampingConfig, RouteDamper
 from repro.bgp.decision import Candidate, DecisionProcess, PeerInfo
 from repro.bgp.errors import BgpError
 from repro.bgp.mrai import MraiLimiter
-from repro.bgp.fsm import Event, SessionFsm, State
+from repro.bgp.fsm import Event, ReconnectBackoff, SessionFsm, State
 from repro.bgp.messages import (
     HEADER_LEN,
     MAX_MESSAGE_LEN,
@@ -136,6 +136,7 @@ class PeerConfig:
     passive: bool = False
     damping: DampingConfig | None = None
     mrai_interval: float = 0.0
+    backoff: ReconnectBackoff | None = None
 
 
 class _Framer:
@@ -182,6 +183,7 @@ class Peer:
             actions=_PeerActions(self),
             hold_time=speaker.config.hold_time,
             expected_peer_asn=config.asn,
+            backoff=config.backoff,
         )
 
     @property
@@ -250,6 +252,10 @@ class BgpSpeaker:
         self.decision = DecisionProcess(config.compare_med_always)
         self._local_routes: dict[Prefix, PathAttributes] = {}
         self._session_log: list[tuple[str, str]] = []
+        #: Optional observer called with every (peer_id, event) session
+        #: transition appended to the log ("up" / "down: <reason>") —
+        #: the hook session-recovery managers latch onto.
+        self.on_session_event: Callable[[str, str], None] | None = None
         self._now = 0.0
         # Route aggregation: configured aggregate -> summary_only flag;
         # active set tracks which are currently originated.
@@ -639,7 +645,7 @@ class BgpSpeaker:
     # -- session lifecycle ------------------------------------------------------
 
     def _on_session_up(self, peer: Peer) -> None:
-        self._session_log.append((peer.config.peer_id, "up"))
+        self._log_session_event(peer.config.peer_id, "up")
         # Initial table transfer (RFC 4271 §9.4 / paper Phase 2): stage
         # the entire Loc-RIB for the new neighbour.
         for route in self.loc_rib.routes():
@@ -652,8 +658,13 @@ class BgpSpeaker:
                 peer.adj_rib_out.stage(route.prefix, exported)
 
     def _on_session_down(self, peer: Peer, reason: str) -> None:
-        self._session_log.append((peer.config.peer_id, f"down: {reason}"))
+        self._log_session_event(peer.config.peer_id, f"down: {reason}")
         self._flush_peer_routes(peer)
+
+    def _log_session_event(self, peer_id: str, event: str) -> None:
+        self._session_log.append((peer_id, event))
+        if self.on_session_event is not None:
+            self.on_session_event(peer_id, event)
 
     def _flush_peer_routes(self, peer: Peer) -> None:
         """Session loss: every route learned from the peer is re-decided."""

@@ -1,0 +1,46 @@
+"""Fault injection: the link layer the clean benchmark leaves out.
+
+The paper's three-phase methodology assumes sessions never flap and
+packets never stall; real routers spend much of their life recovering
+from exactly those faults. This package supplies the missing layer:
+
+* :mod:`repro.faults.link` — :class:`FaultyLink`, a seeded
+  drop/delay/reorder/corruption model with TCP-style retransmission
+  and link partitions, slotting between a speaker and the router;
+* :mod:`repro.faults.script` — scripted fault events (peer crash,
+  administrative reset, partition, flap storm) fired off the virtual
+  clock mid-phase;
+* :mod:`repro.faults.recovery` — :class:`SessionRecovery`,
+  re-establishing dead sessions with exponentially backed-off,
+  deterministically jittered reconnect attempts.
+
+Everything is seeded and replayable: same seed, same schedule — the
+property the recovery benchmarks (:mod:`repro.benchmark.recovery`)
+depend on.
+"""
+
+from repro.faults.link import PERFECT, FaultyLink, LinkPolicy, LinkStats
+from repro.faults.recovery import Outage, SessionRecovery
+from repro.faults.script import (
+    FaultScript,
+    FlapStorm,
+    InjectedFault,
+    LinkPartition,
+    PeerCrash,
+    PeerReset,
+)
+
+__all__ = [
+    "FaultScript",
+    "FaultyLink",
+    "FlapStorm",
+    "InjectedFault",
+    "LinkPartition",
+    "LinkPolicy",
+    "LinkStats",
+    "Outage",
+    "PERFECT",
+    "PeerCrash",
+    "PeerReset",
+    "SessionRecovery",
+]

@@ -1,0 +1,199 @@
+"""A fault-injecting link between a speaker and the router under test.
+
+The benchmark harness normally wires packet delivery straight into
+:meth:`RouterSystem.deliver` and speaker output straight into an outbox
+(``set_send_callback``). A :class:`FaultyLink` slots into either
+direction: every packet handed to :meth:`send` passes through seeded
+drop / delay / reorder / byte-corruption policies before reaching the
+downstream callable.
+
+Two fault classes are deliberately distinct, mirroring where TCP sits
+in a real deployment:
+
+* **drops** model segment loss *below* TCP — the link retransmits after
+  a deterministic RTO with exponential backoff, so the packet arrives
+  late rather than never (unless ``retransmit_timeout`` is None or the
+  retry budget runs out, which models a hard loss and will stall a
+  windowed stream — exactly what the harness watchdog exists to catch);
+* **corruption** models damage that slips *past* TCP's checksum into
+  the BGP layer: the delivered bytes are altered, the speaker's framer
+  raises the appropriate :class:`~repro.bgp.errors.BgpError`, and the
+  session tears down with a NOTIFICATION — the recovery path the
+  fault-model scenarios measure.
+
+All randomness comes from one ``random.Random(seed)`` consumed in send
+order, so a given (seed, packet sequence) pair always produces the same
+delivery schedule — runs are exactly replayable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class LinkPolicy:
+    """Per-link fault probabilities and timing, all deterministic."""
+
+    #: Probability a transmission attempt is dropped in flight.
+    drop_rate: float = 0.0
+    #: Probability a delivered packet has one byte flipped.
+    corrupt_rate: float = 0.0
+    #: Probability a delivered packet is held back behind later ones.
+    reorder_rate: float = 0.0
+    #: Base one-way latency added to every delivery.
+    delay: float = 0.0
+    #: Extra uniform latency in [0, delay_jitter) per delivery.
+    delay_jitter: float = 0.0
+    #: Extra hold applied to reordered packets (must exceed the delay
+    #: spread for a reorder to actually overtake).
+    reorder_extra: float = 0.01
+    #: RTO for the first retransmission of a dropped packet; None means
+    #: dropped packets are lost outright.
+    retransmit_timeout: float | None = 0.2
+    #: RTO multiplier per successive retransmission of one packet.
+    retransmit_backoff: float = 2.0
+    #: Retransmissions per packet before declaring it lost.
+    max_retransmits: int = 12
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "corrupt_rate", "reorder_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]: {value}")
+        if self.delay < 0 or self.delay_jitter < 0 or self.reorder_extra < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.retransmit_timeout is not None and self.retransmit_timeout <= 0:
+            raise ValueError("retransmit_timeout must be positive or None")
+        if self.max_retransmits < 0:
+            raise ValueError("max_retransmits must be >= 0")
+
+
+#: A clean link: every packet delivered immediately, untouched.
+PERFECT = LinkPolicy()
+
+
+@dataclass(slots=True)
+class LinkStats:
+    """Counters for one link direction."""
+
+    offered: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    retransmits: int = 0
+    lost: int = 0
+    corrupted: int = 0
+    reordered: int = 0
+    delayed: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"offered={self.offered} delivered={self.delivered} "
+            f"dropped={self.dropped} retransmits={self.retransmits} "
+            f"lost={self.lost} corrupted={self.corrupted} "
+            f"reordered={self.reordered}"
+        )
+
+
+class FaultyLink:
+    """One direction of an unreliable link feeding *deliver*.
+
+    ``sim`` supplies the virtual clock for latency, retransmission, and
+    partition timing; ``deliver`` is the downstream sink (typically
+    ``lambda data: router.deliver(peer_id, data)`` inbound, or an outbox
+    ``append`` outbound via :meth:`repro.bgp.speaker.BgpSpeaker.
+    set_send_callback`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        deliver: Callable[[bytes], None],
+        policy: LinkPolicy = PERFECT,
+        seed: int = 0,
+    ):
+        self.sim = sim
+        self.deliver = deliver
+        self.policy = policy
+        self.stats = LinkStats()
+        self.partitioned = False
+        #: Called with the packet when it is declared lost (retry budget
+        #: exhausted, or dropped with retransmission disabled).
+        self.on_loss: Callable[[bytes], None] | None = None
+        self._rng = random.Random(seed)
+        self._partition_heal = None
+
+    # -- sending -------------------------------------------------------------
+
+    def send(self, data: bytes) -> None:
+        """Offer one packet to the link; it arrives downstream after the
+        policy's faults have had their say (or never)."""
+        self.stats.offered += 1
+        self._transmit(data, attempt=0)
+
+    def _transmit(self, data: bytes, attempt: int) -> None:
+        policy = self.policy
+        if self.partitioned or self._rng.random() < policy.drop_rate:
+            self.stats.dropped += 1
+            rto = policy.retransmit_timeout
+            if rto is None or attempt >= policy.max_retransmits:
+                self.stats.lost += 1
+                if self.on_loss is not None:
+                    self.on_loss(data)
+                return
+            self.stats.retransmits += 1
+            delay = rto * policy.retransmit_backoff ** attempt
+            self.sim.schedule(delay, lambda: self._transmit(data, attempt + 1))
+            return
+
+        latency = policy.delay
+        if policy.delay_jitter:
+            latency += self._rng.uniform(0.0, policy.delay_jitter)
+        if policy.corrupt_rate and self._rng.random() < policy.corrupt_rate:
+            data = self._corrupt(data)
+            self.stats.corrupted += 1
+        if policy.reorder_rate and self._rng.random() < policy.reorder_rate:
+            latency += policy.reorder_extra
+            self.stats.reordered += 1
+
+        self.stats.delivered += 1
+        if latency > 0.0:
+            self.stats.delayed += 1
+            self.sim.schedule(latency, lambda: self.deliver(data))
+        else:
+            # Zero-latency deliveries stay synchronous so a fault-free
+            # link is behaviourally identical to the direct wiring.
+            self.deliver(data)
+
+    def _corrupt(self, data: bytes) -> bytes:
+        if not data:
+            return data
+        mutated = bytearray(data)
+        position = self._rng.randrange(len(mutated))
+        flip = self._rng.randrange(1, 256)
+        mutated[position] ^= flip
+        return bytes(mutated)
+
+    # -- partition -----------------------------------------------------------
+
+    def partition(self, duration: float | None = None) -> None:
+        """Cut the link. While partitioned every transmission attempt is
+        dropped (retransmissions keep probing, so the stream resumes by
+        itself once healed). With *duration*, healing is scheduled on
+        the virtual clock."""
+        self.partitioned = True
+        if self._partition_heal is not None:
+            self._partition_heal.cancel()
+            self._partition_heal = None
+        if duration is not None:
+            if duration <= 0:
+                raise ValueError(f"duration must be positive: {duration}")
+            self._partition_heal = self.sim.schedule(duration, self.heal)
+
+    def heal(self) -> None:
+        self.partitioned = False
+        self._partition_heal = None

@@ -1,0 +1,141 @@
+"""Automatic session re-establishment with exponential backoff.
+
+When a benchmark session dies — crash, NOTIFICATION, corrupted bytes —
+someone has to bring it back before re-convergence can be measured. A
+:class:`SessionRecovery` latches onto the speaker's session-event hook
+and, on every ``down``, schedules reconnection attempts on the virtual
+clock using the same :class:`~repro.bgp.fsm.ReconnectBackoff` the FSM
+uses for its connect-retry timer: delays grow exponentially per failed
+attempt with deterministic jitter, so repeated runs of one seed retry
+at identical times while different peers desynchronise.
+
+An attempt that finds the link partitioned reports a transport failure
+to the FSM (growing ``connect_retry_counter``, which in turn stretches
+the FSM's own backed-off connect-retry deadline) and books the next
+attempt later. An attempt on a healthy link replays the full handshake;
+on success the ``on_established`` callback fires — the point a recovery
+benchmark starts (re)feeding the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bgp.fsm import ReconnectBackoff
+from repro.faults.link import FaultyLink
+from repro.net.addr import IPv4Address
+from repro.systems.router import RouterSystem
+
+
+@dataclass(slots=True)
+class Outage:
+    """One down→up episode of a recovered session."""
+
+    down_at: float
+    reason: str
+    up_at: float | None = None
+    attempts: int = 0
+
+    @property
+    def recovered(self) -> bool:
+        return self.up_at is not None
+
+    @property
+    def downtime(self) -> float:
+        if self.up_at is None:
+            return float("inf")
+        return self.up_at - self.down_at
+
+
+class SessionRecovery:
+    """Keeps one peer's session alive across injected faults."""
+
+    def __init__(
+        self,
+        router: RouterSystem,
+        peer_id: str,
+        remote_asn: int,
+        remote_id: IPv4Address,
+        link: FaultyLink | None = None,
+        backoff: ReconnectBackoff | None = None,
+        on_established: Callable[[], None] | None = None,
+    ):
+        self.router = router
+        self.peer_id = peer_id
+        self.remote_asn = remote_asn
+        self.remote_id = remote_id
+        self.link = link
+        self.backoff = backoff if backoff is not None else ReconnectBackoff(base=0.5)
+        self.on_established = on_established
+        self.outages: list[Outage] = []
+        self._attempt = 0
+        self._reconnect_handle = None
+        self._stopped = False
+        speaker = router.speaker
+        self._chained = speaker.on_session_event
+        speaker.on_session_event = self._session_event
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def reconnects(self) -> int:
+        return sum(1 for outage in self.outages if outage.recovered)
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(outage.attempts for outage in self.outages)
+
+    def stop(self) -> None:
+        """Detach from the speaker and cancel any pending attempt."""
+        self._stopped = True
+        if self._reconnect_handle is not None:
+            self._reconnect_handle.cancel()
+            self._reconnect_handle = None
+        self.router.speaker.on_session_event = self._chained
+
+    # -- session-event hook --------------------------------------------------
+
+    def _session_event(self, peer_id: str, event: str) -> None:
+        if self._chained is not None:
+            self._chained(peer_id, event)
+        if self._stopped or peer_id != self.peer_id:
+            return
+        if event.startswith("down"):
+            reason = event.partition(":")[2].strip() or "unknown"
+            self.outages.append(Outage(self.router.now, reason))
+            self._attempt = 0
+            self._schedule_attempt()
+
+    def _schedule_attempt(self) -> None:
+        delay = self.backoff.delay(self._attempt)
+        sim = self.router.world.sim
+        if self._reconnect_handle is None:
+            self._reconnect_handle = sim.schedule(delay, self._try_reconnect)
+        else:
+            self._reconnect_handle.reschedule(delay)
+
+    # -- the reconnect attempt ------------------------------------------------
+
+    def _try_reconnect(self) -> None:
+        if self._stopped:
+            return
+        speaker = self.router.speaker
+        if speaker.peers[self.peer_id].established:
+            return
+        outage = self.outages[-1]
+        outage.attempts += 1
+        if self.link is not None and self.link.partitioned:
+            # The SYN goes nowhere: tell the FSM (Idle→Connect→Active,
+            # its connect-retry deadline re-arms with backoff) and book
+            # the next attempt further out.
+            now = self.router.now
+            speaker.start_peer(self.peer_id, now=now)
+            speaker.transport_failed(self.peer_id, now=now)
+            self._attempt += 1
+            self._schedule_attempt()
+            return
+        self.router.handshake(self.peer_id, self.remote_asn, self.remote_id)
+        outage.up_at = self.router.now
+        if self.on_established is not None:
+            self.on_established()

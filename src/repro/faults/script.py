@@ -1,0 +1,141 @@
+"""Scripted fault events driven by the simulator clock.
+
+A :class:`FaultScript` is an ordered set of fault events — peer
+crashes, administrative session resets, link partitions, flap storms —
+armed against a router under test. Each event fires at its virtual
+timestamp during whatever run loop is active, so faults land *mid
+phase*, interleaved with packet processing, exactly as a real outage
+would. Because firing times are explicit and every event is
+deterministic, a scripted run is exactly replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.errors import CeaseSubcode, cease_error
+from repro.bgp.messages import NotificationMessage
+from repro.faults.link import FaultyLink
+from repro.systems.router import RouterSystem
+
+
+@dataclass(frozen=True, slots=True)
+class PeerCrash:
+    """The remote peer's transport dies (TcpConnectionFails, event 18):
+    no NOTIFICATION is ever seen, the FSM falls out of Established and
+    every route learned from the peer is flushed."""
+
+    at: float
+    peer_id: str
+
+
+@dataclass(frozen=True, slots=True)
+class PeerReset:
+    """The remote peer administratively resets: a CEASE NOTIFICATION
+    arrives as a normal packet (and is charged like one), then the
+    session tears down."""
+
+    at: float
+    peer_id: str
+    subcode: CeaseSubcode = CeaseSubcode.ADMINISTRATIVE_RESET
+
+
+@dataclass(frozen=True, slots=True)
+class LinkPartition:
+    """The named peer's link goes dark for *duration* seconds; the
+    link's retransmission machinery keeps probing until it heals."""
+
+    at: float
+    peer_id: str
+    duration: float
+
+
+@dataclass(frozen=True, slots=True)
+class FlapStorm:
+    """*count* successive crashes of one peer, *interval* apart — the
+    pathological neighbour that route-flap damping (RFC 2439) exists
+    to contain."""
+
+    at: float
+    peer_id: str
+    count: int
+    interval: float
+
+    def expand(self) -> "list[PeerCrash]":
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1: {self.count}")
+        if self.interval <= 0:
+            raise ValueError(f"interval must be positive: {self.interval}")
+        return [
+            PeerCrash(self.at + index * self.interval, self.peer_id)
+            for index in range(self.count)
+        ]
+
+
+@dataclass(slots=True)
+class InjectedFault:
+    """One script entry that actually fired."""
+
+    time: float
+    description: str
+
+
+class FaultScript:
+    """Schedules fault events against a router on its virtual clock."""
+
+    def __init__(self, events: "list[PeerCrash | PeerReset | LinkPartition | FlapStorm]"):
+        expanded: "list[PeerCrash | PeerReset | LinkPartition]" = []
+        for event in events:
+            if isinstance(event, FlapStorm):
+                expanded.extend(event.expand())
+            else:
+                expanded.append(event)
+        self.events = sorted(expanded, key=lambda e: e.at)
+        self.log: list[InjectedFault] = []
+
+    def arm(
+        self,
+        router: RouterSystem,
+        links: "dict[str, FaultyLink] | None" = None,
+    ) -> None:
+        """Schedule every event relative to the router's current virtual
+        time. *links* maps peer ids to their inbound links (required for
+        :class:`LinkPartition` events)."""
+        links = links or {}
+        sim = router.world.sim
+        for event in self.events:
+            if isinstance(event, LinkPartition) and event.peer_id not in links:
+                raise KeyError(
+                    f"LinkPartition for {event.peer_id!r} needs its FaultyLink"
+                )
+        for event in self.events:
+            sim.schedule(event.at, lambda e=event: self._fire(router, links, e))
+
+    def _fire(
+        self,
+        router: RouterSystem,
+        links: "dict[str, FaultyLink]",
+        event: "PeerCrash | PeerReset | LinkPartition",
+    ) -> None:
+        now = router.world.sim.now
+        if isinstance(event, PeerCrash):
+            router.speaker.transport_failed(event.peer_id, now=now)
+            self.log.append(InjectedFault(now, f"crash {event.peer_id}"))
+        elif isinstance(event, PeerReset):
+            error = cease_error(event.subcode)
+            wire = NotificationMessage(
+                error.notification.code,
+                error.notification.subcode,
+                error.notification.data,
+            ).encode()
+            router.deliver(event.peer_id, wire)
+            self.log.append(
+                InjectedFault(now, f"reset {event.peer_id} ({event.subcode.name})")
+            )
+        else:
+            links[event.peer_id].partition(event.duration)
+            self.log.append(
+                InjectedFault(
+                    now, f"partition {event.peer_id} for {event.duration:g}s"
+                )
+            )

@@ -19,18 +19,52 @@ class _ScheduledEvent:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    in_queue: bool = field(default=True, compare=False)
+    daemon: bool = field(default=False, compare=False)
 
 
 class EventHandle:
-    """Returned by :meth:`Simulator.schedule`; allows cancellation."""
+    """Returned by :meth:`Simulator.schedule`; allows cancellation and
+    re-arming."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_sim", "_event")
 
-    def __init__(self, event: _ScheduledEvent):
+    def __init__(self, sim: "Simulator", event: _ScheduledEvent):
+        self._sim = sim
         self._event = event
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        self._sim._cancel(self._event)
+
+    def reschedule(self, delay: float) -> "EventHandle":
+        """Re-arm this event to fire at ``now + delay`` (cancel + re-push).
+
+        When the underlying heap entry has already left the queue (the
+        event fired, or was cancelled and lazily popped), the entry is
+        reused instead of allocating a new one — so a periodic timer
+        that re-arms itself from its own callback never allocates after
+        the first :meth:`Simulator.schedule`. Returns ``self`` so the
+        caller can keep a single handle alive across re-arms.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        sim = self._sim
+        event = self._event
+        if event.in_queue:
+            # Still pending: lazy-cancel the queued entry and push a
+            # replacement (mutating a heaped entry would break the heap).
+            sim._cancel(event)
+            self._event = sim._push(sim.now + delay, event.callback, event.daemon)
+        else:
+            event.time = sim.now + delay
+            event.seq = sim._seq
+            sim._seq += 1
+            event.cancelled = False
+            event.in_queue = True
+            if not event.daemon:
+                sim._live_real += 1
+            heapq.heappush(sim._queue, event)
+        return self
 
     @property
     def time(self) -> float:
@@ -40,6 +74,11 @@ class EventHandle:
     def cancelled(self) -> bool:
         return self._event.cancelled
 
+    @property
+    def active(self) -> bool:
+        """True while the event is queued and will fire."""
+        return self._event.in_queue and not self._event.cancelled
+
 
 class Simulator:
     """A virtual clock plus a priority queue of pending callbacks."""
@@ -48,27 +87,56 @@ class Simulator:
         self.now = 0.0
         self._queue: list[_ScheduledEvent] = []
         self._seq = 0
+        self._live_real = 0
         self.events_fired = 0
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
-        """Run *callback* at ``now + delay``."""
+    def schedule(
+        self, delay: float, callback: Callable[[], None], daemon: bool = False
+    ) -> EventHandle:
+        """Run *callback* at ``now + delay``.
+
+        A *daemon* event fires normally while real work keeps the clock
+        moving, but never keeps the simulation alive by itself: once
+        only daemon events remain queued, :meth:`peek_time` reports the
+        queue as empty and run loops go idle. Observers (e.g. the
+        benchmark watchdog) schedule themselves as daemons so watching
+        a run cannot prolong it.
+        """
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        return self.schedule_at(self.now + delay, callback)
+        return self.schedule_at(self.now + delay, callback, daemon)
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], daemon: bool = False
+    ) -> EventHandle:
         if time < self.now:
             raise ValueError(f"cannot schedule into the past: {time} < {self.now}")
-        event = _ScheduledEvent(time, self._seq, callback)
+        return EventHandle(self, self._push(time, callback, daemon))
+
+    def _push(
+        self, time: float, callback: Callable[[], None], daemon: bool = False
+    ) -> _ScheduledEvent:
+        event = _ScheduledEvent(time, self._seq, callback, daemon=daemon)
         self._seq += 1
+        if not daemon:
+            self._live_real += 1
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        return event
+
+    def _cancel(self, event: _ScheduledEvent) -> None:
+        if event.in_queue and not event.cancelled and not event.daemon:
+            self._live_real -= 1
+        event.cancelled = True
 
     def peek_time(self) -> float | None:
-        """Timestamp of the next live event, or None when empty."""
+        """Timestamp of the next live event, or None when the queue is
+        empty or holds only daemon events (which must not keep the
+        simulation running on their own)."""
         while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+            heapq.heappop(self._queue).in_queue = False
+        if not self._queue or self._live_real == 0:
+            return None
+        return self._queue[0].time
 
     def fire_due(self, until: float | None = None) -> int:
         """Advance the clock, firing every event due at or before *until*
@@ -82,6 +150,9 @@ class Simulator:
             if until is not None and next_time > until:
                 break
             event = heapq.heappop(self._queue)
+            event.in_queue = False
+            if not event.daemon:
+                self._live_real -= 1
             self.now = max(self.now, event.time)
             event.callback()
             self.events_fired += 1

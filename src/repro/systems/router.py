@@ -82,7 +82,10 @@ class RouterSystem:
     # -- peers (functional, zero virtual cost: test-harness plumbing) -----
 
     def add_peer(self, config: PeerConfig) -> None:
-        self.speaker.add_peer(config)
+        peer = self.speaker.add_peer(config)
+        # Session timers fire on the virtual clock (a no-op while the
+        # benchmark default hold_time=0 keeps them disarmed).
+        peer.fsm.attach_simulator(self.world.sim)
         outbox: list[bytes] = []
         self.outboxes[config.peer_id] = outbox
         self.speaker.set_send_callback(config.peer_id, outbox.append)

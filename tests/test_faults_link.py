@@ -1,0 +1,253 @@
+"""Unit tests for the fault-injection link layer."""
+
+import pytest
+
+from repro.bgp.policy import ACCEPT_ALL
+from repro.bgp.speaker import PeerConfig
+from repro.faults import (
+    PERFECT,
+    FaultScript,
+    FaultyLink,
+    FlapStorm,
+    LinkPartition,
+    LinkPolicy,
+    PeerCrash,
+    PeerReset,
+)
+from repro.benchmark.harness import SPEAKER1, SPEAKER1_ADDR, SPEAKER1_ASN
+from repro.sim.engine import Simulator
+from repro.systems.platforms import build_system
+from repro.workload.tablegen import generate_table
+from repro.workload.updates import UpdateStreamBuilder
+
+
+def make_link(policy=PERFECT, seed=0):
+    sim = Simulator()
+    got = []
+    link = FaultyLink(sim, lambda data: got.append((sim.now, data)), policy, seed=seed)
+    return sim, link, got
+
+
+class TestPolicyValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError):
+            LinkPolicy(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            LinkPolicy(corrupt_rate=-0.1)
+
+    def test_latencies_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            LinkPolicy(delay=-1.0)
+
+    def test_retransmit_timeout_positive_or_none(self):
+        with pytest.raises(ValueError):
+            LinkPolicy(retransmit_timeout=0.0)
+        LinkPolicy(retransmit_timeout=None)  # hard-loss mode is legal
+
+
+class TestPerfectLink:
+    def test_zero_latency_delivery_is_synchronous(self):
+        sim, link, got = make_link()
+        link.send(b"hello")
+        # No sim.run() needed: a clean link behaves like direct wiring.
+        assert got == [(0.0, b"hello")]
+        assert link.stats.offered == link.stats.delivered == 1
+
+    def test_delay_schedules_on_virtual_clock(self):
+        sim, link, got = make_link(LinkPolicy(delay=0.5))
+        link.send(b"x")
+        assert got == []
+        sim.run()
+        assert got == [(0.5, b"x")]
+        assert link.stats.delayed == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        policy = LinkPolicy(
+            drop_rate=0.2, corrupt_rate=0.1, reorder_rate=0.2,
+            delay=0.01, delay_jitter=0.02,
+        )
+        runs = []
+        for _ in range(2):
+            sim, link, got = make_link(policy, seed=7)
+            for i in range(100):
+                link.send(bytes([i]))
+            sim.run()
+            runs.append((got, link.stats.summary()))
+        assert runs[0] == runs[1]
+
+    def test_different_seeds_differ(self):
+        policy = LinkPolicy(drop_rate=0.3, delay=0.01, delay_jitter=0.05)
+        outcomes = []
+        for seed in (1, 2):
+            sim, link, got = make_link(policy, seed=seed)
+            for i in range(50):
+                link.send(bytes([i]))
+            sim.run()
+            outcomes.append(got)
+        assert outcomes[0] != outcomes[1]
+
+
+class TestRetransmission:
+    def test_dropped_packet_arrives_late_not_never(self):
+        sim, link, got = make_link(LinkPolicy(retransmit_timeout=0.2))
+        link.partition()
+        link.send(b"probe")
+        assert got == []
+        sim.schedule(0.3, link.heal)  # heal after the first RTO
+        sim.run()
+        assert [data for _, data in got] == [b"probe"]
+        assert got[0][0] >= 0.2
+        assert link.stats.retransmits >= 1
+        assert link.stats.delivered == 1
+
+    def test_retry_budget_exhaustion_is_a_hard_loss(self):
+        sim, link, got = make_link(
+            LinkPolicy(retransmit_timeout=0.1, max_retransmits=2)
+        )
+        lost = []
+        link.on_loss = lost.append
+        link.partition()
+        link.send(b"doomed")
+        sim.run()
+        assert got == []
+        assert lost == [b"doomed"]
+        assert link.stats.lost == 1
+        assert link.stats.dropped == 3  # initial try + 2 retransmits
+
+    def test_no_retransmission_means_immediate_loss(self):
+        sim, link, got = make_link(
+            LinkPolicy(drop_rate=1.0, retransmit_timeout=None)
+        )
+        lost = []
+        link.on_loss = lost.append
+        link.send(b"gone")
+        assert lost == [b"gone"]
+        assert link.stats.retransmits == 0
+
+
+class TestPartition:
+    def test_timed_partition_heals_itself(self):
+        sim, link, got = make_link(LinkPolicy(retransmit_timeout=0.2))
+        link.partition(1.0)
+        link.send(b"a")
+        sim.run()
+        assert not link.partitioned
+        assert [data for _, data in got] == [b"a"]
+        assert got[0][0] >= 1.0
+
+    def test_repartition_cancels_earlier_heal(self):
+        sim, link, got = make_link()
+        link.partition(1.0)
+        link.partition(5.0)
+        sim.run(until=2.0)
+        assert link.partitioned
+        sim.run()
+        assert not link.partitioned
+
+    def test_partition_duration_must_be_positive(self):
+        sim, link, got = make_link()
+        with pytest.raises(ValueError):
+            link.partition(0.0)
+
+
+class TestCorruptionAndReorder:
+    def test_corruption_flips_exactly_one_byte(self):
+        sim, link, got = make_link(LinkPolicy(corrupt_rate=1.0))
+        link.send(b"\x00" * 32)
+        assert len(got) == 1
+        data = got[0][1]
+        assert data != b"\x00" * 32
+        assert sum(1 for b in data if b != 0) == 1
+        assert link.stats.corrupted == 1
+
+    def test_reordered_packet_overtaken(self):
+        # Seed 9: packet A drawn for reorder, B not, so B overtakes.
+        sim, link, got = make_link(
+            LinkPolicy(reorder_rate=0.5, reorder_extra=0.05), seed=9
+        )
+        link.send(b"A")
+        link.send(b"B")
+        sim.run()
+        assert [data for _, data in got] == [b"B", b"A"]
+        assert link.stats.reordered == 1
+
+
+class TestCorruptionTeardown:
+    def test_corrupted_update_surfaces_as_notification_teardown(self):
+        """End to end: link corruption -> framer/parser BgpError ->
+        NOTIFICATION -> session down with routes flushed."""
+        router = build_system("pentium3")
+        router.add_peer(
+            PeerConfig(SPEAKER1, SPEAKER1_ASN, SPEAKER1_ADDR, ACCEPT_ALL, ACCEPT_ALL)
+        )
+        router.handshake(SPEAKER1, SPEAKER1_ASN, SPEAKER1_ADDR)
+        link = FaultyLink(
+            router.world.sim,
+            lambda data: router.deliver(SPEAKER1, data),
+            LinkPolicy(corrupt_rate=1.0),
+            seed=0,
+        )
+        builder = UpdateStreamBuilder(SPEAKER1_ASN, SPEAKER1_ADDR)
+        for packet in builder.announcements(generate_table(20, 1), 1):
+            link.send(packet)
+        router.run_until_idle()
+
+        assert not router.speaker.peers[SPEAKER1].established
+        peer_id, event = router.speaker.session_events()[-1]
+        assert peer_id == SPEAKER1
+        assert event.startswith("down:")
+        # The NOTIFICATION went out on the wire before the drop.
+        assert any(out and out[-1][18] == 3 for out in [router.outboxes[SPEAKER1]])
+
+
+class TestFaultScript:
+    def setup_router(self):
+        router = build_system("pentium3")
+        router.add_peer(
+            PeerConfig(SPEAKER1, SPEAKER1_ASN, SPEAKER1_ADDR, ACCEPT_ALL, ACCEPT_ALL)
+        )
+        router.handshake(SPEAKER1, SPEAKER1_ASN, SPEAKER1_ADDR)
+        return router
+
+    def test_peer_crash_drops_session_mid_run(self):
+        router = self.setup_router()
+        script = FaultScript([PeerCrash(1.0, SPEAKER1)])
+        script.arm(router)
+        router.run_until_idle()
+        assert not router.speaker.peers[SPEAKER1].established
+        assert len(script.log) == 1
+        assert script.log[0].time == 1.0
+
+    def test_peer_reset_arrives_as_cease_notification(self):
+        router = self.setup_router()
+        script = FaultScript([PeerReset(0.5, SPEAKER1)])
+        script.arm(router)
+        router.run_until_idle()
+        assert not router.speaker.peers[SPEAKER1].established
+        _, event = router.speaker.session_events()[-1]
+        assert "Cease" in event or "CEASE" in event.upper()
+
+    def test_flap_storm_expands_to_crashes(self):
+        storm = FlapStorm(2.0, "p", count=3, interval=0.5)
+        crashes = storm.expand()
+        assert [c.at for c in crashes] == [2.0, 2.5, 3.0]
+        script = FaultScript([storm])
+        assert len(script.events) == 3
+
+    def test_partition_event_requires_link(self):
+        router = self.setup_router()
+        script = FaultScript([LinkPartition(1.0, SPEAKER1, 2.0)])
+        with pytest.raises(KeyError):
+            script.arm(router)
+
+    def test_events_sorted_by_time(self):
+        script = FaultScript([PeerCrash(5.0, "p"), PeerCrash(1.0, "p")])
+        assert [e.at for e in script.events] == [1.0, 5.0]
+
+    def test_storm_validation(self):
+        with pytest.raises(ValueError):
+            FlapStorm(0.0, "p", count=0, interval=1.0).expand()
+        with pytest.raises(ValueError):
+            FlapStorm(0.0, "p", count=2, interval=0.0).expand()

@@ -118,3 +118,142 @@ class TestRunControl:
             sim.schedule(float(t), lambda: None)
         sim.run()
         assert sim.events_fired == 5
+
+
+class TestReschedule:
+    def test_reschedule_pending_event_moves_it(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, lambda: log.append(sim.now))
+        handle.reschedule(5.0)
+        sim.run()
+        assert log == [5.0]
+
+    def test_reschedule_after_firing_rearms(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, lambda: log.append(sim.now))
+        sim.run()
+        assert not handle.active
+        handle.reschedule(2.0)
+        assert handle.active
+        sim.run()
+        assert log == [1.0, 3.0]
+
+    def test_reschedule_reuses_heap_entry_after_pop(self):
+        # The satellite goal: a periodic timer re-arming from its own
+        # callback must not allocate a new heap entry per period.
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        entry = handle._event
+        sim.run()
+        handle.reschedule(1.0)
+        assert handle._event is entry
+
+    def test_periodic_timer_from_own_callback(self):
+        sim = Simulator()
+        log = []
+        handle = None
+
+        def tick():
+            log.append(sim.now)
+            if len(log) < 4:
+                handle.reschedule(1.0)
+
+        handle = sim.schedule(1.0, tick)
+        entry = handle._event
+        sim.run()
+        assert log == [1.0, 2.0, 3.0, 4.0]
+        assert handle._event is entry
+
+    def test_reschedule_cancelled_event_revives_it(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, lambda: log.append(sim.now))
+        handle.cancel()
+        handle.reschedule(2.0)
+        sim.run()
+        assert log == [2.0]
+
+    def test_reschedule_negative_delay_rejected(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            handle.reschedule(-0.5)
+
+    def test_active_property_lifecycle(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        assert handle.active
+        handle.cancel()
+        assert not handle.active
+        handle.reschedule(1.0)
+        assert handle.active
+        sim.run()
+        assert not handle.active
+
+
+class TestDaemonEvents:
+    def test_daemon_alone_does_not_keep_sim_alive(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("d"), daemon=True)
+        assert sim.peek_time() is None
+        sim.run()
+        assert log == []
+        assert sim.now == 0.0
+
+    def test_daemon_fires_while_real_work_pending(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("daemon"), daemon=True)
+        sim.schedule(2.0, lambda: log.append("real"))
+        sim.run()
+        assert log == ["daemon", "real"]
+
+    def test_run_stops_once_only_daemons_remain(self):
+        sim = Simulator()
+        log = []
+        handle = None
+
+        def watchdog():
+            log.append(sim.now)
+            handle.reschedule(1.0)
+
+        handle = sim.schedule(1.0, watchdog, daemon=True)
+        sim.schedule(2.5, lambda: log.append("work"))
+        sim.run()
+        # The self-rescheduling daemon ticked alongside the real event,
+        # then stopped holding the simulation open.
+        assert log == [1.0, 2.0, "work"]
+        assert sim.now == 2.5
+
+    def test_reschedule_preserves_daemon_flag(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, lambda: log.append("d"), daemon=True)
+        handle.reschedule(3.0)
+        sim.run()
+        assert log == []
+        sim.schedule(5.0, lambda: log.append("real"))
+        sim.run()
+        assert log == ["d", "real"]
+
+    def test_cancelled_daemon_stays_quiet(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, lambda: log.append("d"), daemon=True)
+        handle.cancel()
+        sim.schedule(2.0, lambda: log.append("real"))
+        sim.run()
+        assert log == ["real"]
+
+    def test_cancelling_real_event_leaves_daemons_dormant(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("d"), daemon=True)
+        real = sim.schedule(2.0, lambda: log.append("real"))
+        real.cancel()
+        assert sim.peek_time() is None
+        sim.run()
+        assert log == []
