@@ -60,6 +60,17 @@ class StallDiagnostics:
             f"{self.events_fired} events fired"
         )
 
+    def to_jsonable(self) -> "dict[str, object]":
+        return {
+            "reason": self.reason,
+            "virtual_time": self.virtual_time,
+            "inflight": self.inflight,
+            "packets_sent": self.packets_sent,
+            "packets_total": self.packets_total,
+            "packets_completed": self.packets_completed,
+            "events_fired": self.events_fired,
+        }
+
 
 class StallError(RuntimeError):
     """A stream made no progress; carries the :class:`StallDiagnostics`."""
@@ -187,6 +198,16 @@ class PhaseTrace:
     def duration(self) -> float:
         return self.end - self.start
 
+    def to_jsonable(self) -> "dict[str, object]":
+        return {
+            "phase": self.phase,
+            "start": self.start,
+            "end": self.end,
+            "transactions": self.transactions,
+            "completed": self.completed,
+            "stall": None if self.stall is None else self.stall.to_jsonable(),
+        }
+
 
 @dataclass(slots=True)
 class ScenarioResult:
@@ -220,6 +241,31 @@ class ScenarioResult:
         if self.duration <= 0:
             return 0.0
         return self.transactions / self.duration
+
+    def to_jsonable(self, include_series: bool = False) -> "dict[str, object]":
+        """Plain dicts/lists only — safe to ``json.dumps`` and to ship
+        across process boundaries (the grid executor stores exactly
+        this). Monitor series are large and excluded unless asked for.
+        """
+        out: dict[str, object] = {
+            "scenario": self.scenario.number,
+            "platform": self.platform,
+            "table_size": self.table_size,
+            "cross_traffic_mbps": self.cross_traffic_mbps,
+            "transactions": self.transactions,
+            "duration": self.duration,
+            "transactions_per_second": self.transactions_per_second,
+            "fib_size_after": self.fib_size_after,
+            "completed": self.completed,
+            "phases": [phase.to_jsonable() for phase in self.phases],
+        }
+        if include_series:
+            out["cpu_series"] = {
+                name: [[t, v] for t, v in points]
+                for name, points in self.cpu_series.items()
+            }
+            out["forwarding_series"] = [[t, v] for t, v in self.forwarding_series]
+        return out
 
 
 def stream_packets(

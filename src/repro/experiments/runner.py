@@ -8,9 +8,13 @@
     bgpbench scenario --platform xeon --scenario 6 [--cross-traffic 300]
     bgpbench repeatability --platform pentium3 --scenario 1 --seeds 1 2 3
     bgpbench stability --platform pentium3 --rate 1500
+    bgpbench grid --workers 4 [--scenarios ...] [--table-sizes ...]
+    bgpbench regress [--golden benchmarks/golden/grid-small.json] [--bless]
 
 ``--output-dir`` writes the experiment's result as JSON next to the
-text rendering.
+text rendering. ``grid`` runs the sharded experiment grid through the
+on-disk cell cache; ``regress`` re-runs a committed golden baseline's
+grid and exits non-zero on drift (see docs/GRID.md).
 """
 
 from __future__ import annotations
@@ -26,14 +30,19 @@ from repro.experiments.export import save_json
 from repro.systems import build_system
 from repro.systems.platforms import PLATFORMS
 
-#: command -> (runner(table_size) -> result, render(result) -> str,
+#: command -> (runner(table_size, seed) -> result, render(result) -> str,
 #:             default table size)
 _EXPERIMENTS = {
-    "table3": (lambda size: table3.run_table3(table_size=size), table3.render, 2000),
-    "fig3": (lambda size: fig3.run_fig3(table_size=size), fig3.render, 2000),
-    "fig4": (lambda size: fig4.run_fig4(table_size=size), fig4.render, 2000),
-    "fig5": (lambda size: fig5.run_fig5(table_size=size), fig5.render, 1500),
-    "fig6": (lambda size: fig6.run_fig6(table_size=size), fig6.render, 2000),
+    "table3": (lambda size, seed: table3.run_table3(table_size=size, seed=seed),
+               table3.render, 2000),
+    "fig3": (lambda size, seed: fig3.run_fig3(table_size=size, seed=seed),
+             fig3.render, 2000),
+    "fig4": (lambda size, seed: fig4.run_fig4(table_size=size, seed=seed),
+             fig4.render, 2000),
+    "fig5": (lambda size, seed: fig5.run_fig5(table_size=size, seed=seed),
+             fig5.render, 1500),
+    "fig6": (lambda size, seed: fig6.run_fig6(table_size=size, seed=seed),
+             fig6.render, 2000),
 }
 
 
@@ -107,16 +116,160 @@ def build_parser() -> argparse.ArgumentParser:
     chain.add_argument("--packing", type=int, default=500,
                        help="prefixes per UPDATE (1 = small packets)")
     chain.add_argument("--link-delay", type=float, default=0.001, help="seconds")
+
+    grid = sub.add_parser(
+        "grid", help="run the sharded (scenario x platform x seed x size) grid"
+    )
+    _add_grid_arguments(grid)
+    grid.add_argument(
+        "--output", type=Path, default=None,
+        help="write the merged {cell_id: result} mapping as JSON",
+    )
+
+    regress = sub.add_parser(
+        "regress", help="diff a fresh grid run against a golden baseline"
+    )
+    regress.add_argument(
+        "--golden", type=Path, default=Path("benchmarks/golden/grid-small.json"),
+        help="golden baseline file (defines the grid to run)",
+    )
+    regress.add_argument(
+        "--tolerance", type=float, default=None,
+        help="override the golden file's relative tolerance",
+    )
+    regress.add_argument(
+        "--bless", action="store_true",
+        help="rewrite the golden file from the fresh results instead of diffing",
+    )
+    _add_pool_arguments(regress)
     return parser
 
 
-def _run_experiment(command: str, table_size: int, output_dir: "Path | None") -> None:
+def _add_pool_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (results are identical for any count)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="cell cache directory (default: .bgpbench-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="bypass the cell cache entirely"
+    )
+    parser.add_argument(
+        "--refresh", action="store_true",
+        help="re-run cells even when cached, refreshing their entries",
+    )
+
+
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenarios", type=int, nargs="+", choices=range(1, 9),
+        default=list(range(1, 9)),
+    )
+    parser.add_argument(
+        "--platforms", nargs="+", choices=sorted(PLATFORMS),
+        default=sorted(PLATFORMS),
+    )
+    parser.add_argument("--seeds", type=int, nargs="+", default=[42])
+    parser.add_argument("--table-sizes", type=int, nargs="+", default=[400])
+    _add_pool_arguments(parser)
+
+
+def _run_experiment(
+    command: str, table_size: int, seed: int, output_dir: "Path | None"
+) -> None:
     run, render, _default = _EXPERIMENTS[command]
-    result = run(table_size)
+    result = run(table_size, seed)
     print(render(result))
     if output_dir is not None:
         path = save_json(result, output_dir / f"{command}.json")
         print(f"\n[written {path}]")
+
+
+def _make_cache(args):
+    from repro.grid import DEFAULT_CACHE_DIR, GridCache
+
+    if args.no_cache:
+        return None
+    return GridCache(args.cache_dir if args.cache_dir is not None else DEFAULT_CACHE_DIR)
+
+
+def _run_grid(args) -> int:
+    from repro.grid import enumerate_grid, run_grid
+
+    cells = enumerate_grid(
+        scenarios=args.scenarios,
+        platforms=args.platforms,
+        seeds=args.seeds,
+        table_sizes=args.table_sizes,
+    )
+    report = run_grid(
+        cells,
+        workers=args.workers,
+        cache=_make_cache(args),
+        refresh=args.refresh,
+        progress=lambda cell_id, cached: print(
+            f"  [{'cache' if cached else ' run '}] {cell_id}"
+        ),
+    )
+    for cell_id, result in report.results.items():
+        tps = result["transactions_per_second"]
+        flag = "" if result["completed"] else "  (STALLED)"
+        print(f"{cell_id:32s} {tps:10.1f} tps{flag}")
+    print(
+        f"{report.cells} cells, {report.executed} executed, "
+        f"{report.hits} cache hits ({100 * report.hit_rate:.0f}%), "
+        f"{args.workers} worker(s)"
+    )
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(report.to_json() + "\n")
+        print(f"[written {args.output}]")
+    return 0
+
+
+def _run_regress(args) -> int:
+    from repro.grid import bless, compare, enumerate_grid, load_golden, run_grid
+    from repro.grid.baseline import DEFAULT_TOLERANCE
+
+    if args.golden.exists():
+        golden = load_golden(args.golden)
+        grid_spec = golden["grid"]
+        tolerance = golden["tolerance"]
+    elif args.bless:
+        golden = None
+        grid_spec = {
+            "scenarios": list(range(1, 9)),
+            "platforms": sorted(PLATFORMS),
+            "seeds": [42],
+            "table_sizes": [150],
+        }
+        tolerance = DEFAULT_TOLERANCE
+    else:
+        print(f"regress: no golden baseline at {args.golden} "
+              f"(run with --bless to create one)", file=sys.stderr)
+        return 2
+    if args.tolerance is not None:
+        tolerance = args.tolerance
+
+    cells = enumerate_grid(
+        scenarios=grid_spec["scenarios"],
+        platforms=grid_spec["platforms"],
+        seeds=grid_spec["seeds"],
+        table_sizes=grid_spec["table_sizes"],
+    )
+    report = run_grid(
+        cells, workers=args.workers, cache=_make_cache(args), refresh=args.refresh
+    )
+    if args.bless:
+        path = bless(args.golden, report.results, grid_spec, tolerance)
+        print(f"blessed {len(report.results)} cells -> {path}")
+        return 0
+    outcome = compare(golden["cells"], report.results, tolerance)
+    print(outcome.format())
+    return 0 if outcome.ok else 1
 
 
 def _run_stability(args) -> None:
@@ -157,11 +310,15 @@ def _run_stability(args) -> None:
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command in _EXPERIMENTS:
-        _run_experiment(args.command, args.table_size, args.output_dir)
+        _run_experiment(args.command, args.table_size, args.seed, args.output_dir)
     elif args.command == "all":
         for command in _EXPERIMENTS:
-            _run_experiment(command, args.table_size, args.output_dir)
+            _run_experiment(command, args.table_size, args.seed, args.output_dir)
             print()
+    elif args.command == "grid":
+        return _run_grid(args)
+    elif args.command == "regress":
+        return _run_regress(args)
     elif args.command == "scenario":
         result = run_scenario(
             build_system(args.platform),

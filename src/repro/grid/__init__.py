@@ -1,0 +1,42 @@
+"""Parallel sharded experiment grid with a golden-baseline gate.
+
+The grid runner decomposes the paper's experiment space into
+self-describing :class:`~repro.grid.cells.GridCell` specs — one per
+(scenario × platform × seed × table-size) point — executes them across
+worker processes with results bit-identical to a serial run, caches
+them content-addressed on disk, and diffs them against committed golden
+baselines so reproduced paper numbers cannot drift silently.
+
+See ``docs/GRID.md`` for the cell-hashing scheme, the cache layout, and
+how to re-bless baselines after an intentional change.
+"""
+
+from repro.grid.baseline import (
+    DEFAULT_TOLERANCE,
+    MetricDrift,
+    RegressionReport,
+    bless,
+    compare,
+    load_golden,
+)
+from repro.grid.cache import DEFAULT_CACHE_DIR, GridCache, source_fingerprint
+from repro.grid.cells import GridCell, enumerate_grid, result_json, run_cell
+from repro.grid.executor import GridReport, run_grid
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_TOLERANCE",
+    "GridCache",
+    "GridCell",
+    "GridReport",
+    "MetricDrift",
+    "RegressionReport",
+    "bless",
+    "compare",
+    "enumerate_grid",
+    "load_golden",
+    "result_json",
+    "run_cell",
+    "run_grid",
+    "source_fingerprint",
+]

@@ -1,0 +1,97 @@
+"""Content-addressed on-disk cache for grid cell results.
+
+A cell's cache key is ``sha256(spec_json + "\\n" + fingerprint)`` where
+the fingerprint digests every ``*.py`` file of the ``repro`` source
+tree (relative path and contents). Any change to the simulator, the
+BGP stack, or the harness therefore invalidates every cached cell —
+stale results can never masquerade as fresh ones — while re-running an
+unchanged grid is pure cache hits.
+
+Layout::
+
+    <cache-root>/<key[:2]>/<key>.json
+
+Each entry stores the spec and fingerprint it was keyed under next to
+the result, so entries are self-describing and auditable by hand.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.grid.cells import GridCell
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = Path(".bgpbench-cache")
+
+#: Bumped when the entry layout changes; old entries are ignored.
+CACHE_FORMAT = 1
+
+
+def source_fingerprint(root: "Path | None" = None) -> str:
+    """Digest the ``repro`` source tree (or *root*): every ``*.py``
+    file's relative path and bytes, in sorted order."""
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class GridCache:
+    """Get/put cell results under their content address.
+
+    *fingerprint* defaults to the live source tree's; passing one
+    explicitly is how tests pin or perturb it.
+    """
+
+    def __init__(self, root: "Path | str" = DEFAULT_CACHE_DIR,
+                 fingerprint: "str | None" = None):
+        self.root = Path(root)
+        self.fingerprint = fingerprint if fingerprint is not None else source_fingerprint()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, cell: GridCell) -> Path:
+        key = cell.key(self.fingerprint)
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, cell: GridCell) -> "dict[str, object] | None":
+        """The cached result for *cell*, or None. Unreadable or
+        mismatched entries count as misses (and are re-computed)."""
+        path = self.path_for(cell)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if entry.get("format") != CACHE_FORMAT or entry.get("cell") != cell.spec():
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["result"]
+
+    def put(self, cell: GridCell, result: "dict[str, object]") -> Path:
+        """Store *result* atomically (write-then-rename) and return the
+        entry path."""
+        path = self.path_for(cell)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": CACHE_FORMAT,
+            "cell": cell.spec(),
+            "fingerprint": self.fingerprint,
+            "result": result,
+        }
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True, indent=2))
+        tmp.replace(path)
+        return path

@@ -1,0 +1,134 @@
+"""Grid cells: the self-describing unit of the sharded experiment grid.
+
+A :class:`GridCell` names one point of the (scenario × platform × seed ×
+table-size) experiment grid. A cell is *self-describing*: everything a
+worker needs to reproduce the measurement — including the workload PRNG
+seed — is in the spec, so any process that receives a cell re-seeds
+deterministically and produces results bit-identical to a serial run.
+
+``spec_json`` is the canonical serialisation (sorted keys, no
+whitespace); hashed together with a fingerprint of the ``repro`` source
+tree it forms the content address under which the cell's result is
+cached (see :mod:`repro.grid.cache`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.benchmark import run_scenario
+from repro.benchmark.scenarios import SCENARIOS
+from repro.systems import build_system
+from repro.systems.platforms import PLATFORMS
+
+#: The metric fields every cell result carries (used by the regression
+#: gate; ``transactions``/``fib_size_after``/``completed`` compare
+#: exactly, the float fields within a relative tolerance).
+EXACT_METRICS = ("transactions", "fib_size_after", "completed")
+TOLERANT_METRICS = ("duration", "transactions_per_second")
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class GridCell:
+    """One (scenario, platform, seed, table_size) grid point."""
+
+    scenario: int
+    platform: str
+    seed: int
+    table_size: int
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise ValueError(f"no scenario {self.scenario}; valid: 1-8")
+        if self.platform not in PLATFORMS:
+            raise ValueError(
+                f"unknown platform {self.platform!r}; choose from {sorted(PLATFORMS)}"
+            )
+        if self.table_size < 1:
+            raise ValueError(f"table_size must be positive: {self.table_size}")
+
+    @property
+    def cell_id(self) -> str:
+        """Human-readable identifier, the key used in result files."""
+        return f"s{self.scenario}-{self.platform}-seed{self.seed}-n{self.table_size}"
+
+    def spec(self) -> dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "platform": self.platform,
+            "seed": self.seed,
+            "table_size": self.table_size,
+        }
+
+    def spec_json(self) -> str:
+        """Canonical JSON form — the hashed half of the cache key."""
+        return json.dumps(self.spec(), sort_keys=True, separators=(",", ":"))
+
+    def key(self, fingerprint: str) -> str:
+        """Content address: cell spec plus source-tree fingerprint."""
+        digest = hashlib.sha256()
+        digest.update(self.spec_json().encode("utf-8"))
+        digest.update(b"\n")
+        digest.update(fingerprint.encode("utf-8"))
+        return digest.hexdigest()
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, object]) -> "GridCell":
+        return cls(
+            scenario=int(spec["scenario"]),  # type: ignore[arg-type]
+            platform=str(spec["platform"]),
+            seed=int(spec["seed"]),  # type: ignore[arg-type]
+            table_size=int(spec["table_size"]),  # type: ignore[arg-type]
+        )
+
+
+def enumerate_grid(
+    scenarios: "Iterable[int] | None" = None,
+    platforms: "Iterable[str] | None" = None,
+    seeds: Iterable[int] = (42,),
+    table_sizes: Iterable[int] = (400,),
+) -> list[GridCell]:
+    """Enumerate the full cartesian grid in deterministic order.
+
+    Duplicate coordinates are collapsed; the order is sorted by
+    (scenario, platform, seed, table_size) so a grid enumeration is
+    stable regardless of the argument order.
+    """
+    scenarios = sorted(set(scenarios)) if scenarios is not None else sorted(SCENARIOS)
+    platforms = sorted(set(platforms)) if platforms is not None else sorted(PLATFORMS)
+    cells = [
+        GridCell(scenario, platform, seed, table_size)
+        for scenario in scenarios
+        for platform in platforms
+        for seed in sorted(set(seeds))
+        for table_size in sorted(set(table_sizes))
+    ]
+    return sorted(cells)
+
+
+def run_cell(cell: GridCell) -> dict[str, object]:
+    """Execute one cell from scratch and return its JSON-ready result.
+
+    Builds a fresh router, re-seeds the workload from the cell spec, and
+    summarises the :class:`~repro.benchmark.harness.ScenarioResult` as
+    plain dicts — deterministic given the spec, so serial and pooled
+    runs agree byte for byte.
+    """
+    outcome = run_scenario(
+        build_system(cell.platform),
+        cell.scenario,
+        table_size=cell.table_size,
+        seed=cell.seed,
+    )
+    summary = outcome.to_jsonable()
+    summary["cell"] = cell.spec()
+    return summary
+
+
+def result_json(results: Mapping[str, Mapping[str, object]]) -> str:
+    """Canonical JSON for a ``{cell_id: result}`` mapping — the byte
+    representation the determinism tests and the regression gate diff."""
+    return json.dumps(results, sort_keys=True, indent=2)

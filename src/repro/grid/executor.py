@@ -1,0 +1,98 @@
+"""Shard the experiment grid across worker processes.
+
+``run_grid`` takes an enumerated list of :class:`GridCell` specs, skips
+every cell the cache already holds, and fans the rest out over a
+:class:`concurrent.futures.ProcessPoolExecutor`. Workers receive the
+cell spec only — they rebuild the router and re-seed the workload from
+it (:func:`repro.grid.cells.run_cell`), so a pooled run is bit-identical
+to a serial one and the merge order is the enumeration order, never the
+completion order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.grid.cache import GridCache
+from repro.grid.cells import GridCell, result_json, run_cell
+
+
+@dataclass(slots=True)
+class GridReport:
+    """Outcome of one grid run: results in enumeration order plus
+    cache accounting."""
+
+    workers: int
+    results: dict[str, dict] = field(default_factory=dict)
+    hits: int = 0
+    executed: int = 0
+
+    @property
+    def cells(self) -> int:
+        return len(self.results)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.cells if self.cells else 0.0
+
+    def to_json(self) -> str:
+        """Canonical JSON of the ``{cell_id: result}`` mapping."""
+        return result_json(self.results)
+
+
+def _execute_cell(cell: GridCell) -> "tuple[str, dict]":
+    """Worker entry point — top-level so it pickles under spawn too."""
+    return cell.cell_id, run_cell(cell)
+
+
+def run_grid(
+    cells: Sequence[GridCell],
+    workers: int = 1,
+    cache: "GridCache | None" = None,
+    refresh: bool = False,
+    progress: "Callable[[str, bool], None] | None" = None,
+) -> GridReport:
+    """Run every cell, through the cache when one is given.
+
+    *refresh* re-executes even cached cells (and overwrites their
+    entries). *progress*, if given, is called as ``progress(cell_id,
+    from_cache)`` once per cell in completion order.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1: {workers}")
+    report = GridReport(workers=workers)
+    merged: dict[str, dict] = {}
+
+    pending: list[GridCell] = []
+    for cell in cells:
+        cached = None if (cache is None or refresh) else cache.get(cell)
+        if cached is not None:
+            merged[cell.cell_id] = cached
+            report.hits += 1
+            if progress is not None:
+                progress(cell.cell_id, True)
+        else:
+            pending.append(cell)
+
+    if workers <= 1 or len(pending) <= 1:
+        computed = map(_execute_cell, pending)
+    else:
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+        computed = pool.map(_execute_cell, pending)
+    try:
+        for cell, (cell_id, result) in zip(pending, computed):
+            merged[cell_id] = result
+            report.executed += 1
+            if cache is not None:
+                cache.put(cell, result)
+            if progress is not None:
+                progress(cell_id, False)
+    finally:
+        if workers > 1 and len(pending) > 1:
+            pool.shutdown()
+
+    # Enumeration order, not completion order.
+    report.results = {cell.cell_id: merged[cell.cell_id] for cell in cells}
+    return report

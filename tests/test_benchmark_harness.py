@@ -3,7 +3,7 @@
 import pytest
 
 from repro.benchmark import run_scenario
-from repro.benchmark.harness import SPEAKER1, SPEAKER2
+from repro.benchmark.harness import SPEAKER1, SPEAKER2, PhaseTrace
 from repro.systems import build_system
 from repro.workload.tablegen import generate_table
 
@@ -130,3 +130,58 @@ class TestSeries:
             build_system("cisco"), 2, table_size=SIZE, cross_traffic_mbps=500.0
         )
         assert result.cross_traffic_mbps == 78.0
+
+
+class TestResultPortability:
+    """Results must survive a process boundary (pickle, for the grid
+    executor) and a JSON file (the grid cache and golden baselines)."""
+
+    def test_scenario_result_pickles(self):
+        import pickle
+
+        result = run_scenario(build_system("pentium3"), 5, table_size=100)
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.transactions_per_second == result.transactions_per_second
+        assert [p.phase for p in clone.phases] == [p.phase for p in result.phases]
+        assert clone.scenario == result.scenario
+
+    def test_to_jsonable_roundtrips_through_json(self):
+        import json
+
+        result = run_scenario(build_system("pentium3"), 3, table_size=100)
+        summary = result.to_jsonable()
+        assert json.loads(json.dumps(summary)) == summary
+        assert summary["scenario"] == 3
+        assert summary["transactions"] == result.transactions
+        assert summary["transactions_per_second"] == result.transactions_per_second
+        assert [p["phase"] for p in summary["phases"]] == [1, 3]
+        assert all(p["stall"] is None for p in summary["phases"])
+        assert "cpu_series" not in summary
+
+    def test_to_jsonable_can_include_series(self):
+        import json
+
+        result = run_scenario(
+            build_system("pentium3"), 1, table_size=100, cross_traffic_mbps=50.0
+        )
+        summary = result.to_jsonable(include_series=True)
+        assert json.loads(json.dumps(summary)) == summary
+        assert summary["cpu_series"]["xorp_bgp"]
+        assert summary["forwarding_series"]
+
+    def test_stalled_result_stays_portable(self):
+        import json
+        import pickle
+
+        from repro.benchmark.harness import StallDiagnostics
+
+        diag = StallDiagnostics(
+            reason="test stall", virtual_time=1.0, inflight=2,
+            packets_sent=3, packets_total=4, packets_completed=1, events_fired=9,
+        )
+        trace = PhaseTrace(1, 0.0, 1.0, 1, completed=False, stall=diag)
+        clone = pickle.loads(pickle.dumps(trace))
+        assert clone.stall.reason == "test stall"
+        summary = trace.to_jsonable()
+        assert json.loads(json.dumps(summary)) == summary
+        assert summary["stall"]["reason"] == "test stall"
