@@ -1,0 +1,165 @@
+"""The lint engine: file discovery, suppression, rendering.
+
+``lint_paths`` walks the given files/directories (default: the
+installed ``repro`` package), parses each module once, runs every
+registered rule over it, and drops findings suppressed by a per-line
+``# repro: noqa`` / ``# repro: noqa[RPR001,RPR003]`` comment. Output is
+either human ``file:line:col`` diagnostics or a machine-readable JSON
+report (consumed by the CI ``lint`` job).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.rules import Finding, ModuleContext, Rule, all_rules
+
+#: Per-line suppression: blanket (``# repro: noqa``) or targeted
+#: (``# repro: noqa[RPR001,RPR005]``).
+NOQA_PATTERN = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Z0-9,\s]+)\])?")
+
+#: Directory names never descended into during discovery.
+SKIPPED_DIRS = frozenset({"__pycache__", ".git"})
+
+
+@dataclass(slots=True)
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return counts
+
+    def to_jsonable(self) -> dict[str, object]:
+        return {
+            "files_scanned": self.files_scanned,
+            "suppressed": self.suppressed,
+            "parse_errors": list(self.parse_errors),
+            "counts_by_rule": self.counts_by_rule(),
+            "findings": [finding.to_jsonable() for finding in self.findings],
+            "ok": self.ok,
+        }
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``*.py`` files."""
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if SKIPPED_DIRS.isdisjoint(candidate.parts):
+                    yield candidate
+        else:
+            yield path
+
+
+def suppressed_ids(source_line: str) -> "frozenset[str] | None":
+    """Rule ids suppressed on this line; empty frozenset = suppress all;
+    None = no noqa comment."""
+    match = NOQA_PATTERN.search(source_line)
+    if match is None:
+        return None
+    if match.group(1) is None:
+        return frozenset()
+    return frozenset(part.strip() for part in match.group(1).split(",") if part.strip())
+
+
+def lint_source(
+    path: str, source: str, rules: "Sequence[Rule] | None" = None
+) -> tuple[list[Finding], int]:
+    """Lint one module's source; returns (kept findings, suppressed count)."""
+    module = ModuleContext.parse(path, source)
+    lines = source.splitlines()
+    kept: list[Finding] = []
+    suppressed = 0
+    for rule in rules if rules is not None else all_rules():
+        for finding in rule.check(module):
+            line_text = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
+            noqa = suppressed_ids(line_text)
+            if noqa is not None and (not noqa or finding.rule_id in noqa):
+                suppressed += 1
+                continue
+            kept.append(finding)
+    kept.sort()
+    return kept, suppressed
+
+
+def lint_paths(
+    paths: "Iterable[Path | str] | None" = None,
+    select: "Iterable[str] | None" = None,
+) -> LintReport:
+    """Lint every ``*.py`` under *paths* (default: the ``repro`` package
+    source tree) with all rules, or just the *select* rule ids."""
+    if paths is None:
+        import repro
+
+        paths = [Path(repro.__file__).resolve().parent]
+    rules = all_rules()
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - {rule.rule_id for rule in rules}
+        if unknown:
+            raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+
+    report = LintReport()
+    for file_path in iter_python_files(Path(p) for p in paths):
+        report.files_scanned += 1
+        try:
+            source = file_path.read_text()
+            findings, suppressed = lint_source(str(file_path), source, rules)
+        except SyntaxError as error:
+            report.parse_errors.append(f"{file_path}: {error.msg} (line {error.lineno})")
+            continue
+        report.findings.extend(findings)
+        report.suppressed += suppressed
+    report.findings.sort()
+    return report
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable diagnostics plus a one-line summary."""
+    lines = [finding.render() for finding in report.findings]
+    lines.extend(f"parse error: {message}" for message in report.parse_errors)
+    counts = report.counts_by_rule()
+    breakdown = (
+        " (" + ", ".join(f"{rule_id}×{counts[rule_id]}" for rule_id in sorted(counts)) + ")"
+        if counts
+        else ""
+    )
+    lines.append(
+        f"{len(report.findings)} finding(s){breakdown} in "
+        f"{report.files_scanned} file(s), {report.suppressed} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Canonical machine-readable report (sorted keys, 2-space indent)."""
+    return json.dumps(report.to_jsonable(), sort_keys=True, indent=2)
+
+
+def render_rule_list() -> str:
+    """``--list-rules``: every rule id, severity, title, and rationale."""
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.rule_id} [{rule.severity}] {rule.title}")
+        rationale = (rule.__doc__ or "").strip()
+        for doc_line in rationale.splitlines():
+            lines.append(f"    {doc_line.strip()}")
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""RPR006: ``to_jsonable`` completeness at the grid process boundary.
+
+Grid cell results travel between processes and into the on-disk cache
+as plain JSON. Any dataclass that crosses that boundary must define an
+explicit ``to_jsonable()`` so the wire shape is a deliberate, tested
+contract rather than whatever ``__dict__`` happens to hold — a field
+added without updating the serialisation would otherwise silently
+change cache keys' meaning or drop data from golden baselines.
+
+A module is *boundary* when its path ends with one of
+:data:`BOUNDARY_MODULE_SUFFIXES` or when it carries a
+``# repro: boundary`` marker comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.rules import Finding, ModuleContext, Rule, register
+
+#: Modules whose dataclasses are serialised across the grid process
+#: boundary (matched as path suffixes, POSIX separators).
+BOUNDARY_MODULE_SUFFIXES = (
+    "repro/benchmark/harness.py",
+    "repro/grid/cells.py",
+    "repro/grid/executor.py",
+)
+
+#: Opt-in marker for other modules whose dataclasses cross the boundary.
+BOUNDARY_MARKER = re.compile(r"#\s*repro:\s*boundary\b")
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _defines_to_jsonable(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if stmt.name == "to_jsonable":
+                return True
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "to_jsonable":
+                    return True
+    return False
+
+
+@register
+class JsonableBoundaryRule(Rule):
+    """RPR006: boundary dataclasses must define ``to_jsonable()``.
+
+    The grid executor ships results between processes as plain dicts and
+    the cache/golden files persist them; an implicit serialisation would
+    let a new field desynchronise the cached, golden, and live shapes.
+    Defining ``to_jsonable()`` keeps the boundary contract explicit and
+    test-coverable (round-trip through ``json.dumps``/``loads``).
+    """
+
+    rule_id = "RPR006"
+    title = "boundary dataclass without to_jsonable"
+    severity = "warning"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        posix_path = module.path.replace("\\", "/")
+        if not posix_path.endswith(BOUNDARY_MODULE_SUFFIXES) and not BOUNDARY_MARKER.search(
+            module.source
+        ):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if _is_dataclass_decorated(node) and not _defines_to_jsonable(node):
+                yield self.finding(
+                    module,
+                    node,
+                    f"dataclass {node.name} crosses the grid process "
+                    f"boundary but defines no to_jsonable(); add one so "
+                    f"the serialised shape is an explicit contract",
+                )

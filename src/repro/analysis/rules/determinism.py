@@ -1,0 +1,152 @@
+"""Rules against nondeterministic *sources*: wall clocks and PRNGs.
+
+Everything under ``src/repro`` must be a pure function of its inputs
+(cell spec, workload seed): the grid cache keys results by spec +
+source fingerprint and the golden gate diffs them bit-for-bit, so a
+single wall-clock read or global-PRNG draw silently corrupts cached
+cells and blesses drifting baselines.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.rules import (
+    Finding,
+    ModuleContext,
+    Rule,
+    register,
+    resolve_dotted,
+)
+
+#: Callables that read ambient real-world state. Resolved against the
+#: module's import aliases, so ``from time import time`` is caught too.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.clock_gettime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "os.urandom",
+        "os.getrandom",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbits",
+        "secrets.randbelow",
+        "secrets.choice",
+    }
+)
+
+#: Module-level functions of :mod:`random` that draw from (or reseed)
+#: the interpreter-global PRNG shared by every caller in the process.
+GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+
+@register
+class WallClockRule(Rule):
+    """RPR001: no wall-clock, uuid, or OS-entropy reads.
+
+    Simulated time is the only clock: results must depend on the cell
+    spec alone, or re-running a cached grid stops being a no-op and the
+    repeatability study (paper §I) measures the host instead of the
+    model. Use ``Simulator.now`` for time and a seeded ``Random`` for
+    identifiers.
+    """
+
+    rule_id = "RPR001"
+    title = "wall-clock / ambient-entropy read"
+    severity = "error"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = resolve_dotted(node.func, module.aliases)
+            if resolved in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"call to {resolved}() reads ambient state; use the "
+                    f"simulated clock (Simulator.now) or derive the value "
+                    f"from the cell spec",
+                )
+
+
+@register
+class UnseededRandomRule(Rule):
+    """RPR002: no module-level or unseeded ``random``.
+
+    The global PRNG is shared mutable state: any draw perturbs every
+    later draw in the process, so two grid cells running in the same
+    worker interleave differently than in separate workers. Construct
+    ``random.Random(seed)`` with an explicit seed and thread the
+    instance through.
+    """
+
+    rule_id = "RPR002"
+    title = "module-level or unseeded random"
+    severity = "error"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = resolve_dotted(node.func, module.aliases)
+            if resolved is None:
+                continue
+            if resolved.startswith("random.") and resolved[7:] in GLOBAL_RANDOM_FUNCS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{resolved}() draws from the process-global PRNG; "
+                    f"thread a seeded random.Random instance instead",
+                )
+            elif resolved == "random.Random" and not node.args and not node.keywords:
+                yield self.finding(
+                    module,
+                    node,
+                    "random.Random() without a seed falls back to OS "
+                    "entropy; pass an explicit seed",
+                )
+            elif resolved == "random.SystemRandom":
+                yield self.finding(
+                    module,
+                    node,
+                    "random.SystemRandom draws OS entropy and can never "
+                    "be seeded; use random.Random(seed)",
+                )

@@ -1,0 +1,99 @@
+"""Rules against state-leak and precision hazards.
+
+RPR004 guards against mutable default arguments — state shared between
+calls makes the *N*-th grid cell in a worker see residue from cells
+1…N-1, exactly the class of bug that makes pooled runs diverge from
+serial ones. RPR005 guards float aggregation: ``sum()`` accumulates
+left-to-right rounding error, so a mean computed over a reordered
+series drifts in the last ulps and trips the golden gate's exact
+comparisons; ``math.fsum`` is order-insensitive and exactly rounded.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.rules import Finding, ModuleContext, Rule, register
+
+#: Zero-argument constructor calls that produce a fresh mutable object
+#: and therefore must not appear as a default argument either.
+MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+@register
+class MutableDefaultRule(Rule):
+    """RPR004: no mutable default arguments.
+
+    A default is evaluated once at definition time and shared by every
+    call; mutations leak across scenario runs and across grid cells
+    executed in the same worker process. Default to ``None`` and
+    construct inside the function (dataclasses: ``field(default_factory
+    =...)``).
+    """
+
+    rule_id = "RPR004"
+    title = "mutable default argument"
+    severity = "error"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default argument in {node.name}(); the "
+                        f"object is shared across calls — default to None "
+                        f"and construct inside the function",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in MUTABLE_CONSTRUCTORS:
+                return True
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "defaultdict":
+                return True
+            if isinstance(node.func, ast.Name) and node.func.id == "defaultdict":
+                return True
+        return False
+
+
+@register
+class FloatAccumulationRule(Rule):
+    """RPR005: float aggregation must use ``math.fsum``.
+
+    ``sum(xs) / n`` rounds at every addition, so the result depends on
+    the order of ``xs`` — and monitor series order is exactly what
+    refactors shuffle. ``math.fsum`` tracks partial sums exactly and is
+    independent of summand order, keeping aggregated metrics stable to
+    the last bit across such changes.
+    """
+
+    rule_id = "RPR005"
+    title = "float accumulation without math.fsum"
+    severity = "warning"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.Div)
+                and isinstance(node.left, ast.Call)
+                and isinstance(node.left.func, ast.Name)
+                and node.left.func.id == "sum"
+            ):
+                yield self.finding(
+                    module,
+                    node.left,
+                    "mean computed with sum()/n accumulates order-dependent "
+                    "rounding error; use math.fsum(...) for the numerator",
+                )

@@ -1,0 +1,176 @@
+"""RPR003: iteration order over unordered containers.
+
+``set`` iteration order depends on element hashes — for ``str`` keys it
+varies run to run with ``PYTHONHASHSEED``. Any set iteration that feeds
+event scheduling, UPDATE packing, or hashing therefore breaks
+bit-determinism. Dict iteration is insertion-ordered (deterministic),
+so ``.keys()``/``.values()`` loops are flagged only when the loop body
+makes ordering-sensitive calls (``schedule``/``submit``/``heappush``/
+digest ``update``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.rules import Finding, ModuleContext, Rule, register
+
+#: Methods that return a new set.
+SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+
+#: Calls inside a loop body that make the iteration order observable in
+#: event scheduling or hashing.
+ORDER_SENSITIVE_CALLS = frozenset(
+    {"schedule", "schedule_at", "submit", "heappush", "hexdigest", "digest"}
+)
+
+
+def _binding_name(target: ast.AST) -> str | None:
+    """'x' for a plain name, 'self.x' for an instance attribute."""
+    if isinstance(target, ast.Name):
+        return target.id
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return f"self.{target.attr}"
+    return None
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    return False
+
+
+def _is_set_annotation(node: ast.AST) -> bool:
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id in {"set", "frozenset", "Set", "FrozenSet", "MutableSet"}
+    if isinstance(node, ast.Attribute):
+        return node.attr in {"Set", "FrozenSet", "MutableSet"}
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            return _is_set_annotation(ast.parse(node.value, mode="eval").body)
+        except SyntaxError:
+            return False
+    return False
+
+
+def _collect_set_names(tree: ast.Module) -> set[str]:
+    """Names statically known to be bound to sets anywhere in the module."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign) and _is_set_annotation(node.annotation):
+            name = _binding_name(node.target)
+            if name is not None:
+                names.add(name)
+        elif isinstance(node, ast.Assign) and _is_set_expr(node.value):
+            for target in node.targets:
+                name = _binding_name(target)
+                if name is not None:
+                    names.add(name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            arguments = node.args
+            for arg in (*arguments.posonlyargs, *arguments.args, *arguments.kwonlyargs):
+                if arg.annotation is not None and _is_set_annotation(arg.annotation):
+                    names.add(arg.arg)
+    return names
+
+
+def _contains_order_sensitive_call(body: "list[ast.stmt]") -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ORDER_SENSITIVE_CALLS
+            ):
+                return True
+    return False
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """RPR003: no unordered iteration on ordering-sensitive paths.
+
+    The event queue breaks timestamp ties in scheduling order, so *who
+    schedules first* is part of the result; iterating a ``set`` to
+    schedule, emit, or hash makes that order hash-dependent. Wrap the
+    iterable in ``sorted(...)`` — the paper's repeatability claim rides
+    on it.
+    """
+
+    rule_id = "RPR003"
+    title = "unordered set/dict iteration"
+    severity = "error"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.For):
+                yield from self._check_iter(module, node.iter, body=node.body)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    yield from self._check_iter(module, generator.iter, body=None)
+
+    def _check_iter(
+        self, module: ModuleContext, iter_expr: ast.AST, body: "list[ast.stmt] | None"
+    ) -> Iterator[Finding]:
+        set_names = self._set_names_cache(module)
+        if _is_set_expr(iter_expr):
+            yield self.finding(
+                module,
+                iter_expr,
+                "iterating a set literal/constructor directly; wrap in "
+                "sorted(...) to pin the order",
+            )
+            return
+        if (
+            isinstance(iter_expr, ast.Call)
+            and isinstance(iter_expr.func, ast.Attribute)
+            and iter_expr.func.attr in SET_METHODS
+        ):
+            yield self.finding(
+                module,
+                iter_expr,
+                f".{iter_expr.func.attr}() returns an unordered set; wrap "
+                f"the iteration in sorted(...)",
+            )
+            return
+        name = _binding_name(iter_expr)
+        if name is not None and name in set_names:
+            yield self.finding(
+                module,
+                iter_expr,
+                f"{name} is a set; iterate sorted({name}) so the order "
+                f"cannot depend on element hashes",
+            )
+            return
+        if (
+            body is not None
+            and isinstance(iter_expr, ast.Call)
+            and isinstance(iter_expr.func, ast.Attribute)
+            and iter_expr.func.attr in {"keys", "values"}
+            and _contains_order_sensitive_call(body)
+        ):
+            yield self.finding(
+                module,
+                iter_expr,
+                f"loop over .{iter_expr.func.attr}() schedules/hashes per "
+                f"item; iterate a sorted(...) view so insertion order "
+                f"cannot leak into event order",
+            )
+
+    def _set_names_cache(self, module: ModuleContext) -> set[str]:
+        cached = getattr(module, "_rpr003_set_names", None)
+        if cached is None:
+            cached = _collect_set_names(module.tree)
+            setattr(module, "_rpr003_set_names", cached)
+        return cached

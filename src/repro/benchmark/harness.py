@@ -12,6 +12,8 @@ of the router's processing, as a real TCP receive window enforces.
 
 from __future__ import annotations
 
+# repro: boundary — results defined here cross the grid process boundary.
+
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -512,6 +514,16 @@ class MultiPeerResult:
     @property
     def transactions_per_second(self) -> float:
         return self.transactions / self.duration if self.duration > 0 else 0.0
+
+    def to_jsonable(self) -> "dict[str, object]":
+        return {
+            "peer_count": self.peer_count,
+            "table_size": self.table_size,
+            "transactions": self.transactions,
+            "duration": self.duration,
+            "transactions_per_second": self.transactions_per_second,
+            "fib_size_after": self.fib_size_after,
+        }
 
 
 def run_multipeer_startup(

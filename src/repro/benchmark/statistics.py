@@ -44,9 +44,10 @@ def summarize(values: "list[float]") -> SampleStats:
     if not values:
         raise ValueError("cannot summarize an empty sample")
     count = len(values)
-    mean = sum(values) / count
+    # fsum: exactly rounded, summand-order-independent (lint RPR005).
+    mean = math.fsum(values) / count
     if count > 1:
-        variance = sum((v - mean) ** 2 for v in values) / (count - 1)
+        variance = math.fsum((v - mean) ** 2 for v in values) / (count - 1)
     else:
         variance = 0.0
     return SampleStats(

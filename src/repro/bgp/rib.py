@@ -120,6 +120,15 @@ class LocRib:
     def prefixes(self) -> Iterator[Prefix]:
         return iter(self._routes)
 
+    def fib_view(self) -> "list[tuple[Prefix, object]]":
+        """Deterministic (prefix, next_hop) snapshot, sorted by prefix —
+        the view the simulation sanitizer diffs against the FIB after
+        quiescence (RIB/FIB agreement invariant)."""
+        return sorted(
+            (route.prefix, route.attributes.next_hop)
+            for route in self._routes.values()
+        )
+
 
 class AdjRibOut:
     """The subset of the Loc-RIB advertised to one neighbour.
@@ -161,6 +170,11 @@ class AdjRibOut:
 
     def has_pending(self) -> bool:
         return bool(self._pending_announce or self._pending_withdraw)
+
+    def pending_counts(self) -> tuple[int, int]:
+        """(staged announcements, staged withdrawals) not yet flushed —
+        the in-flight term of the sanitizer's conservation accounting."""
+        return len(self._pending_announce), len(self._pending_withdraw)
 
     def take_pending(self) -> tuple[dict[Prefix, PathAttributes], set[Prefix]]:
         """Return and clear (announcements, withdrawals) staged so far."""

@@ -107,6 +107,60 @@ class WorkLog:
         return replace(self)
 
 
+@dataclass(slots=True)
+class PrefixAudit:
+    """Conservation ledger: every received prefix classified exactly once.
+
+    The simulation sanitizer (:mod:`repro.analysis.sanitizer`) asserts
+    after every event that what came in equals what was accounted for —
+    announcements land in exactly one of accepted / unchanged /
+    policy-filtered / loop-dropped / damping-suppressed, withdrawals in
+    applied / absent. The counters are monotonic and never reset, so
+    the balance must hold at any instant, not just at phase ends.
+    """
+
+    announced: int = 0
+    withdrawn: int = 0
+    accepted: int = 0
+    unchanged: int = 0
+    policy_filtered: int = 0
+    loop_dropped: int = 0
+    damping_suppressed: int = 0
+    withdrawals_applied: int = 0
+    withdrawals_absent: int = 0
+
+    @property
+    def classified_announcements(self) -> int:
+        return (
+            self.accepted
+            + self.unchanged
+            + self.policy_filtered
+            + self.loop_dropped
+            + self.damping_suppressed
+        )
+
+    @property
+    def classified_withdrawals(self) -> int:
+        return self.withdrawals_applied + self.withdrawals_absent
+
+    def balanced(self) -> bool:
+        return (
+            self.announced == self.classified_announcements
+            and self.withdrawn == self.classified_withdrawals
+        )
+
+    def describe_imbalance(self) -> str:
+        return (
+            f"announced={self.announced} vs classified="
+            f"{self.classified_announcements} (accepted={self.accepted}, "
+            f"unchanged={self.unchanged}, policy={self.policy_filtered}, "
+            f"loop={self.loop_dropped}, damping={self.damping_suppressed}); "
+            f"withdrawn={self.withdrawn} vs classified="
+            f"{self.classified_withdrawals} (applied="
+            f"{self.withdrawals_applied}, absent={self.withdrawals_absent})"
+        )
+
+
 @dataclass(frozen=True, slots=True)
 class SpeakerConfig:
     """Local configuration of a BGP speaker."""
@@ -249,6 +303,8 @@ class BgpSpeaker:
         self.loc_rib = LocRib()
         self.peers: dict[str, Peer] = {}
         self.work = WorkLog()
+        #: Monotonic conservation ledger the sanitizer audits.
+        self.audit = PrefixAudit()
         self.decision = DecisionProcess(config.compare_med_always)
         self._local_routes: dict[Prefix, PathAttributes] = {}
         self._session_log: list[tuple[str, str]] = []
@@ -328,10 +384,14 @@ class BgpSpeaker:
 
         for prefix in update.withdrawn:
             self.work.prefixes_withdrawn += 1
+            self.audit.withdrawn += 1
             if peer.damper is not None:
                 peer.damper.record_withdrawal(prefix, self._now)
             if peer.adj_rib_in.withdraw(prefix) is RouteChange.REMOVED:
+                self.audit.withdrawals_applied += 1
                 self._run_decision(prefix)
+            else:
+                self.audit.withdrawals_absent += 1
 
         if not update.nlri:
             return
@@ -341,26 +401,34 @@ class BgpSpeaker:
         # eBGP sender-side loop detection: drop routes carrying our AS.
         if peer.is_ebgp and attrs.as_path.contains(self.config.asn):
             self.work.prefixes_announced += len(update.nlri)
+            self.audit.announced += len(update.nlri)
+            self.audit.loop_dropped += len(update.nlri)
             return
 
         policy = peer.config.import_policy
         before = policy.evaluations
         for prefix in update.nlri:
             self.work.prefixes_announced += 1
+            self.audit.announced += 1
             if peer.damper is not None and self._record_flap(peer, prefix):
                 # Suppressed (RFC 2439): the route is not usable; any
                 # previously accepted state must go away.
+                self.audit.damping_suppressed += 1
                 if peer.adj_rib_in.withdraw(prefix) is RouteChange.REMOVED:
                     self._run_decision(prefix)
                 continue
             imported = policy.apply(prefix, attrs)
             if imported is None:
                 # Rejected: an existing route from this peer must go away.
+                self.audit.policy_filtered += 1
                 if peer.adj_rib_in.withdraw(prefix) is RouteChange.REMOVED:
                     self._run_decision(prefix)
                 continue
             if peer.adj_rib_in.update(prefix, imported) is not RouteChange.UNCHANGED:
+                self.audit.accepted += 1
                 self._run_decision(prefix)
+            else:
+                self.audit.unchanged += 1
         self.work.policy_evaluations += policy.evaluations - before
 
     def _record_flap(self, peer: Peer, prefix: Prefix) -> bool:

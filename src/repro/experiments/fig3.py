@@ -13,6 +13,7 @@ the paper highlights and this runner reproduces:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.benchmark import run_scenario
@@ -67,7 +68,7 @@ def render(result: Fig3Result) -> str:
                 lines.append(f"  {process:13s}: idle")
                 continue
             peak = max(v for _, v in series)
-            mean = sum(v for _, v in series) / len(series)
+            mean = math.fsum(v for _, v in series) / len(series)
             lines.append(
                 f"  {process:13s}: peak {peak:5.1f}%  mean {mean:5.1f}%  "
                 f"({len(series)} samples)"

@@ -10,6 +10,7 @@ sooner overall (higher transactions/s).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.benchmark import run_scenario
@@ -78,7 +79,7 @@ def render(result: Fig4Result) -> str:
             if not series:
                 lines.append(f"  {process:13s}: idle")
                 continue
-            mean = sum(v for _, v in series) / len(series)
+            mean = math.fsum(v for _, v in series) / len(series)
             lines.append(f"  {process:13s}: mean {mean:5.1f}%")
     return "\n".join(lines)
 

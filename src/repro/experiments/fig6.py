@@ -13,6 +13,7 @@ Three panels:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.benchmark import run_scenario
@@ -56,7 +57,7 @@ class Fig6Result:
         series = self.cpu["with-traffic"]["interrupts"]
         end = self.duration["with-traffic"]
         samples = [v for t, v in series if t <= end]
-        return sum(samples) / len(samples) / 100.0 if samples else 0.0
+        return math.fsum(samples) / len(samples) / 100.0 if samples else 0.0
 
     def min_forwarding_in_phase3(self) -> float:
         phase3 = next(p for p in self.phases["with-traffic"] if p.phase == 3)
@@ -98,7 +99,7 @@ def render(result: Fig6Result) -> str:
         )
         for category, series in result.cpu[label].items():
             in_run = [v for t, v in series if t <= result.duration[label]]
-            mean = sum(in_run) / len(in_run) if in_run else 0.0
+            mean = math.fsum(in_run) / len(in_run) if in_run else 0.0
             lines.append(f"  {category:10s}: mean {mean:5.1f}%")
     lines.append(
         f"\ninterrupt share under load: "

@@ -10,11 +10,16 @@
     bgpbench stability --platform pentium3 --rate 1500
     bgpbench grid --workers 4 [--scenarios ...] [--table-sizes ...]
     bgpbench regress [--golden benchmarks/golden/grid-small.json] [--bless]
+    bgpbench lint [paths ...] [--format json] [--select RPR001 ...]
+    bgpbench check --sanitize [--platform pentium3] [--scenario 5]
 
 ``--output-dir`` writes the experiment's result as JSON next to the
 text rendering. ``grid`` runs the sharded experiment grid through the
 on-disk cell cache; ``regress`` re-runs a committed golden baseline's
-grid and exits non-zero on drift (see docs/GRID.md).
+grid and exits non-zero on drift (see docs/GRID.md). ``lint`` runs the
+determinism linter over the source tree and ``check --sanitize`` runs
+one scenario in checked mode (see docs/ANALYSIS.md); both exit
+non-zero on findings, so CI can gate on them.
 """
 
 from __future__ import annotations
@@ -142,6 +147,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite the golden file from the fresh results instead of diffing",
     )
     _add_pool_arguments(regress)
+
+    lint = sub.add_parser(
+        "lint", help="run the determinism linter over the source tree"
+    )
+    lint.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="diagnostic output format",
+    )
+    lint.add_argument(
+        "--select", nargs="+", metavar="RPRxxx", default=None,
+        help="run only these rule ids",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
+    )
+
+    check = sub.add_parser(
+        "check", help="run one scenario in checked (sanitized) mode"
+    )
+    check.add_argument(
+        "--sanitize", action="store_true", default=True,
+        help="enable the invariant sanitizer (default: on)",
+    )
+    check.add_argument("--platform", choices=sorted(PLATFORMS), default="pentium3")
+    check.add_argument("--scenario", type=int, choices=range(1, 9), default=5)
+    check.add_argument("--table-size", type=int, default=150)
+    check.add_argument("--seed", type=int, default=42)
     return parser
 
 
@@ -160,6 +197,10 @@ def _add_pool_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--refresh", action="store_true",
         help="re-run cells even when cached, refreshing their entries",
+    )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run executed cells in checked mode (invariant sanitizer)",
     )
 
 
@@ -213,6 +254,7 @@ def _run_grid(args) -> int:
         progress=lambda cell_id, cached: print(
             f"  [{'cache' if cached else ' run '}] {cell_id}"
         ),
+        sanitize=args.sanitize,
     )
     for cell_id, result in report.results.items():
         tps = result["transactions_per_second"]
@@ -261,7 +303,8 @@ def _run_regress(args) -> int:
         table_sizes=grid_spec["table_sizes"],
     )
     report = run_grid(
-        cells, workers=args.workers, cache=_make_cache(args), refresh=args.refresh
+        cells, workers=args.workers, cache=_make_cache(args),
+        refresh=args.refresh, sanitize=args.sanitize,
     )
     if args.bless:
         path = bless(args.golden, report.results, grid_spec, tolerance)
@@ -270,6 +313,55 @@ def _run_regress(args) -> int:
     outcome = compare(golden["cells"], report.results, tolerance)
     print(outcome.format())
     return 0 if outcome.ok else 1
+
+
+def _run_lint(args) -> int:
+    from repro.analysis import lint_paths, render_json, render_text
+    from repro.analysis.linter import render_rule_list
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    try:
+        report = lint_paths(args.paths or None, select=args.select)
+    except ValueError as error:
+        print(f"lint: {error}", file=sys.stderr)
+        return 2
+    print(render_json(report) if args.format == "json" else render_text(report))
+    return 0 if report.ok else 1
+
+
+def _run_check(args) -> int:
+    from repro.analysis import Sanitizer, SanitizerError
+
+    router = build_system(args.platform)
+    sanitizer = Sanitizer().attach(router) if args.sanitize else None
+    try:
+        result = run_scenario(
+            router, args.scenario, table_size=args.table_size, seed=args.seed
+        )
+        if sanitizer is not None:
+            sanitizer.check_quiescent()
+    except SanitizerError as error:
+        print(error.describe(), file=sys.stderr)
+        return 1
+    finally:
+        if sanitizer is not None:
+            sanitizer.detach()
+    print(
+        f"{args.platform} scenario {args.scenario}: "
+        f"{result.transactions_per_second:.1f} transactions/s "
+        f"({result.transactions} transactions in {result.duration:.2f} virtual s)"
+    )
+    if sanitizer is not None:
+        stats = sanitizer.stats
+        print(
+            f"sanitizer: {stats.events_checked} events checked, "
+            f"{stats.heap_checks} heap checks, "
+            f"{stats.conservation_checks} conservation checks, "
+            f"{stats.quiescent_checks} quiescent check(s) — all invariants held"
+        )
+    return 0
 
 
 def _run_stability(args) -> None:
@@ -319,6 +411,10 @@ def main(argv: "list[str] | None" = None) -> int:
         return _run_grid(args)
     elif args.command == "regress":
         return _run_regress(args)
+    elif args.command == "lint":
+        return _run_lint(args)
+    elif args.command == "check":
+        return _run_check(args)
     elif args.command == "scenario":
         result = run_scenario(
             build_system(args.platform),

@@ -30,16 +30,38 @@ DEFAULT_CACHE_DIR = Path(".bgpbench-cache")
 #: Bumped when the entry layout changes; old entries are ignored.
 CACHE_FORMAT = 1
 
+#: Directories whose contents can never change a cell result: test
+#: suites, documentation, and compiled bytecode. Excluding them keeps a
+#: doc-only or test-only commit from invalidating every cached cell.
+FINGERPRINT_EXCLUDED_DIRS = frozenset({"tests", "docs", "__pycache__"})
+
+#: Only these suffixes participate in the digest — ``*.md`` and other
+#: documentation files are deliberately outside the key.
+FINGERPRINT_SUFFIXES = (".py",)
+
+
+def _fingerprint_files(root: Path) -> "list[Path]":
+    """The files the fingerprint digests, in sorted (deterministic) order."""
+    return [
+        path
+        for suffix in FINGERPRINT_SUFFIXES
+        for path in sorted(root.rglob(f"*{suffix}"))
+        if FINGERPRINT_EXCLUDED_DIRS.isdisjoint(path.relative_to(root).parts[:-1])
+    ]
+
 
 def source_fingerprint(root: "Path | None" = None) -> str:
     """Digest the ``repro`` source tree (or *root*): every ``*.py``
-    file's relative path and bytes, in sorted order."""
+    file's relative path and bytes, in sorted order. ``tests/``,
+    ``docs/``, ``__pycache__/`` subtrees and non-``.py`` files (e.g.
+    ``*.md``) are excluded — they cannot change a cell's result, so
+    editing them must not invalidate the cache."""
     if root is None:
         import repro
 
         root = Path(repro.__file__).resolve().parent
     digest = hashlib.sha256()
-    for path in sorted(root.rglob("*.py")):
+    for path in _fingerprint_files(root):
         digest.update(path.relative_to(root).as_posix().encode("utf-8"))
         digest.update(b"\0")
         digest.update(path.read_bytes())

@@ -14,6 +14,8 @@ cached (see :mod:`repro.grid.cache`).
 
 from __future__ import annotations
 
+# repro: boundary — cell specs and results cross the grid process boundary.
+
 import hashlib
 import json
 from dataclasses import dataclass
@@ -67,6 +69,10 @@ class GridCell:
         """Canonical JSON form — the hashed half of the cache key."""
         return json.dumps(self.spec(), sort_keys=True, separators=(",", ":"))
 
+    def to_jsonable(self) -> dict[str, object]:
+        """Alias of :meth:`spec` — the cell *is* its spec."""
+        return self.spec()
+
     def key(self, fingerprint: str) -> str:
         """Content address: cell spec plus source-tree fingerprint."""
         digest = hashlib.sha256()
@@ -109,20 +115,39 @@ def enumerate_grid(
     return sorted(cells)
 
 
-def run_cell(cell: GridCell) -> dict[str, object]:
+def run_cell(cell: GridCell, sanitize: bool = False) -> dict[str, object]:
     """Execute one cell from scratch and return its JSON-ready result.
 
     Builds a fresh router, re-seeds the workload from the cell spec, and
     summarises the :class:`~repro.benchmark.harness.ScenarioResult` as
     plain dicts — deterministic given the spec, so serial and pooled
     runs agree byte for byte.
+
+    With ``sanitize=True`` the run executes in checked mode: a
+    :class:`repro.analysis.sanitizer.Sanitizer` observes every event and
+    the quiescent invariants are asserted after the run. Checked mode
+    observes only, so the result is byte-identical either way; a
+    violation raises :class:`~repro.analysis.sanitizer.SanitizerError`
+    instead of returning a result.
     """
-    outcome = run_scenario(
-        build_system(cell.platform),
-        cell.scenario,
-        table_size=cell.table_size,
-        seed=cell.seed,
-    )
+    router = build_system(cell.platform)
+    sanitizer = None
+    if sanitize:
+        from repro.analysis.sanitizer import Sanitizer
+
+        sanitizer = Sanitizer().attach(router)
+    try:
+        outcome = run_scenario(
+            router,
+            cell.scenario,
+            table_size=cell.table_size,
+            seed=cell.seed,
+        )
+        if sanitizer is not None:
+            sanitizer.check_quiescent()
+    finally:
+        if sanitizer is not None:
+            sanitizer.detach()
     summary = outcome.to_jsonable()
     summary["cell"] = cell.spec()
     return summary

@@ -11,6 +11,9 @@ completion order.
 
 from __future__ import annotations
 
+# repro: boundary — grid reports cross the grid process boundary.
+
+import functools
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -41,10 +44,18 @@ class GridReport:
         """Canonical JSON of the ``{cell_id: result}`` mapping."""
         return result_json(self.results)
 
+    def to_jsonable(self) -> "dict[str, object]":
+        return {
+            "workers": self.workers,
+            "hits": self.hits,
+            "executed": self.executed,
+            "results": self.results,
+        }
 
-def _execute_cell(cell: GridCell) -> "tuple[str, dict]":
+
+def _execute_cell(cell: GridCell, sanitize: bool = False) -> "tuple[str, dict]":
     """Worker entry point — top-level so it pickles under spawn too."""
-    return cell.cell_id, run_cell(cell)
+    return cell.cell_id, run_cell(cell, sanitize=sanitize)
 
 
 def run_grid(
@@ -53,12 +64,16 @@ def run_grid(
     cache: "GridCache | None" = None,
     refresh: bool = False,
     progress: "Callable[[str, bool], None] | None" = None,
+    sanitize: bool = False,
 ) -> GridReport:
     """Run every cell, through the cache when one is given.
 
     *refresh* re-executes even cached cells (and overwrites their
     entries). *progress*, if given, is called as ``progress(cell_id,
-    from_cache)`` once per cell in completion order.
+    from_cache)`` once per cell in completion order. *sanitize* runs
+    every executed cell in checked mode (observe-only, so cached and
+    sanitized results stay interchangeable); an invariant violation
+    propagates as :class:`repro.analysis.sanitizer.SanitizerError`.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1: {workers}")
@@ -76,11 +91,12 @@ def run_grid(
         else:
             pending.append(cell)
 
+    execute = functools.partial(_execute_cell, sanitize=sanitize)
     if workers <= 1 or len(pending) <= 1:
-        computed = map(_execute_cell, pending)
+        computed = map(execute, pending)
     else:
         pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
-        computed = pool.map(_execute_cell, pending)
+        computed = pool.map(execute, pending)
     try:
         for cell, (cell_id, result) in zip(pending, computed):
             merged[cell_id] = result

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Protocol
 
 
 @dataclass(order=True)
@@ -21,6 +21,18 @@ class _ScheduledEvent:
     cancelled: bool = field(default=False, compare=False)
     in_queue: bool = field(default=True, compare=False)
     daemon: bool = field(default=False, compare=False)
+
+
+class SimObserver(Protocol):
+    """Checked-mode hook (see :class:`repro.analysis.sanitizer.Sanitizer`).
+
+    ``before_fire`` runs after an event is popped and the clock advanced,
+    ``after_fire`` after its callback returned. Observers must only
+    *observe* — scheduling or mutating from a hook would change results.
+    """
+
+    def before_fire(self, event: _ScheduledEvent) -> None: ...
+    def after_fire(self, event: _ScheduledEvent) -> None: ...
 
 
 class EventHandle:
@@ -89,6 +101,9 @@ class Simulator:
         self._seq = 0
         self._live_real = 0
         self.events_fired = 0
+        #: Optional checked-mode observer; None (the default) costs one
+        #: attribute read per fired event.
+        self.observer: SimObserver | None = None
 
     def schedule(
         self, delay: float, callback: Callable[[], None], daemon: bool = False
@@ -154,9 +169,14 @@ class Simulator:
             if not event.daemon:
                 self._live_real -= 1
             self.now = max(self.now, event.time)
+            observer = self.observer
+            if observer is not None:
+                observer.before_fire(event)
             event.callback()
             self.events_fired += 1
             fired += 1
+            if observer is not None:
+                observer.after_fire(event)
             if until is None:
                 break
         if until is not None:

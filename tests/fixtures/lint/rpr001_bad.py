@@ -1,0 +1,17 @@
+"""RPR001 fixture: wall-clock and ambient-entropy reads."""
+
+import time
+import uuid
+from datetime import datetime
+
+
+def timestamp() -> float:
+    return time.time()
+
+
+def run_id() -> str:
+    return str(uuid.uuid4())
+
+
+def started() -> str:
+    return datetime.now().isoformat()

@@ -1,0 +1,9 @@
+"""RPR001 fixture: time comes from the simulated clock."""
+
+
+def timestamp(sim) -> float:
+    return sim.now
+
+
+def run_id(cell_spec: dict) -> str:
+    return f"s{cell_spec['scenario']}-seed{cell_spec['seed']}"

@@ -1,0 +1,16 @@
+"""RPR002 fixture: module-level and unseeded PRNG draws."""
+
+import random
+
+
+def shuffle_table(entries: list) -> list:
+    random.shuffle(entries)
+    return entries
+
+
+def jitter() -> float:
+    return random.uniform(0.0, 1.0)
+
+
+def fresh_rng():
+    return random.Random()

@@ -1,0 +1,12 @@
+"""RPR002 fixture: a seeded Random instance is threaded through."""
+
+import random
+
+
+def shuffle_table(entries: list, rng: random.Random) -> list:
+    rng.shuffle(entries)
+    return entries
+
+
+def fresh_rng(seed: int) -> random.Random:
+    return random.Random(seed)

@@ -1,0 +1,16 @@
+"""RPR003 fixture: set iteration feeding event scheduling."""
+
+
+def schedule_all(prefixes: set, sim) -> None:
+    for prefix in prefixes:
+        sim.schedule(0.0, prefix)
+
+
+def drain(sim) -> None:
+    for peer in {"speaker1", "speaker2"}:
+        sim.schedule(1.0, peer)
+
+
+def flush_peers(by_peer: dict, sim) -> None:
+    for routes in by_peer.values():
+        sim.schedule(0.0, routes)

@@ -1,0 +1,11 @@
+"""RPR003 fixture: unordered containers are sorted before iteration."""
+
+
+def schedule_all(prefixes: set, sim) -> None:
+    for prefix in sorted(prefixes):
+        sim.schedule(0.0, prefix)
+
+
+def hash_peers(by_peer: dict, digest) -> None:
+    for peer in sorted(by_peer):
+        digest.update(by_peer[peer])

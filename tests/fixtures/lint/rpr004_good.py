@@ -1,0 +1,8 @@
+"""RPR004 fixture: defaults are None, constructed inside."""
+
+
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket

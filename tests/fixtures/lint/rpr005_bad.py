@@ -1,0 +1,5 @@
+"""RPR005 fixture: order-dependent float mean."""
+
+
+def mean(samples: list) -> float:
+    return sum(samples) / len(samples)

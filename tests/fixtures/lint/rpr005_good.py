@@ -1,0 +1,7 @@
+"""RPR005 fixture: exactly-rounded mean via math.fsum."""
+
+import math
+
+
+def mean(samples: list) -> float:
+    return math.fsum(samples) / len(samples)

@@ -1,0 +1,11 @@
+"""RPR006 fixture: boundary dataclass without to_jsonable."""
+
+# repro: boundary
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Summary:
+    transactions: int
+    duration: float

@@ -1,0 +1,14 @@
+"""RPR006 fixture: boundary dataclass with an explicit contract."""
+
+# repro: boundary
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Summary:
+    transactions: int
+    duration: float
+
+    def to_jsonable(self) -> dict:
+        return {"transactions": self.transactions, "duration": self.duration}

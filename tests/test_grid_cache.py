@@ -1,0 +1,69 @@
+"""Source-fingerprint scope: only code that can change a cell result
+participates in the cache key. Editing tests, docs, or markdown must
+never invalidate the cache; editing any ``repro`` source file must."""
+
+from pathlib import Path
+
+from repro.grid.cache import (
+    FINGERPRINT_EXCLUDED_DIRS,
+    FINGERPRINT_SUFFIXES,
+    _fingerprint_files,
+    source_fingerprint,
+)
+
+
+def make_tree(root: Path) -> None:
+    (root / "pkg").mkdir()
+    (root / "pkg" / "core.py").write_text("VALUE = 1\n")
+    (root / "pkg" / "util.py").write_text("def f():\n    return 2\n")
+
+
+class TestFingerprintScope:
+    def test_tests_docs_and_markdown_are_outside_the_key(self, tmp_path):
+        make_tree(tmp_path)
+        baseline = source_fingerprint(tmp_path)
+
+        (tmp_path / "tests").mkdir()
+        (tmp_path / "tests" / "test_core.py").write_text("def test(): pass\n")
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "conf.py").write_text("project = 'x'\n")
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "core.cpython-312.py").write_text("junk\n")
+        (tmp_path / "README.md").write_text("# readme\n")
+        (tmp_path / "pkg" / "NOTES.md").write_text("notes\n")
+
+        assert source_fingerprint(tmp_path) == baseline
+
+    def test_source_edit_changes_the_key(self, tmp_path):
+        make_tree(tmp_path)
+        baseline = source_fingerprint(tmp_path)
+        (tmp_path / "pkg" / "core.py").write_text("VALUE = 2\n")
+        assert source_fingerprint(tmp_path) != baseline
+
+    def test_new_source_file_changes_the_key(self, tmp_path):
+        make_tree(tmp_path)
+        baseline = source_fingerprint(tmp_path)
+        (tmp_path / "pkg" / "extra.py").write_text("EXTRA = 3\n")
+        assert source_fingerprint(tmp_path) != baseline
+
+    def test_rename_changes_the_key(self, tmp_path):
+        # The digest covers relative paths, not just contents.
+        make_tree(tmp_path)
+        baseline = source_fingerprint(tmp_path)
+        (tmp_path / "pkg" / "core.py").rename(tmp_path / "pkg" / "renamed.py")
+        assert source_fingerprint(tmp_path) != baseline
+
+    def test_file_enumeration_is_sorted_and_filtered(self, tmp_path):
+        make_tree(tmp_path)
+        (tmp_path / "tests").mkdir()
+        (tmp_path / "tests" / "test_core.py").write_text("pass\n")
+        files = _fingerprint_files(tmp_path)
+        assert files == sorted(files)
+        assert all(f.suffix in FINGERPRINT_SUFFIXES for f in files)
+        assert all(
+            FINGERPRINT_EXCLUDED_DIRS.isdisjoint(f.relative_to(tmp_path).parts)
+            for f in files
+        )
+
+    def test_live_tree_fingerprint_is_stable(self):
+        assert source_fingerprint() == source_fingerprint()
