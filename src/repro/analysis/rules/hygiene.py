@@ -1,4 +1,4 @@
-"""Rules against state-leak and precision hazards.
+"""Rules against state-leak, precision, and output-channel hazards.
 
 RPR004 guards against mutable default arguments — state shared between
 calls makes the *N*-th grid cell in a worker see residue from cells
@@ -7,11 +7,15 @@ serial ones. RPR005 guards float aggregation: ``sum()`` accumulates
 left-to-right rounding error, so a mean computed over a reordered
 series drifts in the last ulps and trips the golden gate's exact
 comparisons; ``math.fsum`` is order-insensitive and exactly rounded.
+RPR007 keeps library modules silent: ``print()`` belongs to the CLI
+layer (modules carrying a ``# repro: cli`` marker); everything else
+reports through return values or the telemetry registry.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterator
 
 from repro.analysis.rules import Finding, ModuleContext, Rule, register
@@ -96,4 +100,44 @@ class FloatAccumulationRule(Rule):
                     node.left,
                     "mean computed with sum()/n accumulates order-dependent "
                     "rounding error; use math.fsum(...) for the numerator",
+                )
+
+
+#: Opt-in marker declaring a module a command-line entry point, where
+#: ``print()`` *is* the output contract.
+CLI_MARKER = re.compile(r"#\s*repro:\s*cli\b")
+
+
+@register
+class PrintInLibraryRule(Rule):
+    """RPR007: no ``print()`` in library modules.
+
+    Library code runs inside grid workers and pytest; stray stdout
+    interleaves nondeterministically across worker processes, corrupts
+    piped JSON output (``bgpbench lint --format json``), and hides real
+    diagnostics. Libraries report through return values, exceptions, or
+    the telemetry registry; only CLI entry points — modules carrying a
+    ``# repro: cli`` marker comment — own stdout.
+    """
+
+    rule_id = "RPR007"
+    title = "print() in library module"
+    severity = "warning"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if CLI_MARKER.search(module.source):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "print() in a library module writes to shared stdout; "
+                    "return the text (or record a metric) and let the CLI "
+                    "layer print — or mark the module '# repro: cli' if it "
+                    "is an entry point",
                 )

@@ -389,19 +389,27 @@ def run_scenario(
     def run_stream_phase(phase: int, sender: str, packets: "list[bytes]") -> PhaseTrace:
         router.reset_counters()
         start = router.now
+        telemetry = router.telemetry
+        span = None if telemetry is None else telemetry.phase_begin(phase)
         try:
             stream_packets(
                 router, sender, packets, window,
                 deliver=deliver.get(sender), watchdog=watchdog,
             )
         except StallError as error:
-            return PhaseTrace(
+            trace = PhaseTrace(
                 phase, start, router.now, router.transactions_completed,
                 completed=False, stall=error.diagnostics,
             )
-        return PhaseTrace(
+            if span is not None:
+                telemetry.phase_end(span, trace.transactions, False)
+            return trace
+        trace = PhaseTrace(
             phase, start, router.last_completion, router.transactions_completed
         )
+        if span is not None:
+            telemetry.phase_end(span, trace.transactions, True)
+        return trace
 
     router.add_peer(
         PeerConfig(SPEAKER1, SPEAKER1_ASN, SPEAKER1_ADDR, ACCEPT_ALL, ACCEPT_ALL)
@@ -426,8 +434,12 @@ def run_scenario(
         router.handshake(SPEAKER2, SPEAKER2_ASN, SPEAKER2_ADDR)
         router.reset_counters()
         start = router.now
+        telemetry = router.telemetry
+        span = None if telemetry is None else telemetry.phase_begin(2)
         router.schedule_initial_advertisement(SPEAKER2)
         router.run_until_idle()
+        if span is not None:
+            telemetry.phase_end(span, 0, True)
         phases.append(PhaseTrace(2, start, router.now, 0))
 
     # ---- Phase 3 / measurement -------------------------------------------------

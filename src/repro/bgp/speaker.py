@@ -312,6 +312,10 @@ class BgpSpeaker:
         #: transition appended to the log ("up" / "down: <reason>") —
         #: the hook session-recovery managers latch onto.
         self.on_session_event: Callable[[str, str], None] | None = None
+        #: Optional telemetry probe (:class:`repro.telemetry.Telemetry`)
+        #: receiving update/decision/FIB events. Observe-only: the probe
+        #: never influences processing.
+        self.probe = None
         self._now = 0.0
         # Route aggregation: configured aggregate -> summary_only flag;
         # active set tracks which are currently originated.
@@ -381,6 +385,11 @@ class BgpSpeaker:
 
     def _process_update(self, peer: Peer, update: UpdateMessage) -> None:
         self.work.updates_processed += 1
+        probe = self.probe
+        if probe is not None:
+            probe.update_begin(
+                peer.config.peer_id, len(update.withdrawn), len(update.nlri)
+            )
 
         for prefix in update.withdrawn:
             self.work.prefixes_withdrawn += 1
@@ -389,11 +398,17 @@ class BgpSpeaker:
                 peer.damper.record_withdrawal(prefix, self._now)
             if peer.adj_rib_in.withdraw(prefix) is RouteChange.REMOVED:
                 self.audit.withdrawals_applied += 1
+                if probe is not None:
+                    probe.decision(prefix, "withdraw_applied")
                 self._run_decision(prefix)
             else:
                 self.audit.withdrawals_absent += 1
+                if probe is not None:
+                    probe.decision(prefix, "withdraw_absent")
 
         if not update.nlri:
+            if probe is not None:
+                probe.update_end()
             return
         assert update.attributes is not None
         attrs = update.attributes
@@ -403,6 +418,10 @@ class BgpSpeaker:
             self.work.prefixes_announced += len(update.nlri)
             self.audit.announced += len(update.nlri)
             self.audit.loop_dropped += len(update.nlri)
+            if probe is not None:
+                for prefix in update.nlri:
+                    probe.decision(prefix, "loop_dropped")
+                probe.update_end()
             return
 
         policy = peer.config.import_policy
@@ -414,6 +433,8 @@ class BgpSpeaker:
                 # Suppressed (RFC 2439): the route is not usable; any
                 # previously accepted state must go away.
                 self.audit.damping_suppressed += 1
+                if probe is not None:
+                    probe.decision(prefix, "damping_suppressed")
                 if peer.adj_rib_in.withdraw(prefix) is RouteChange.REMOVED:
                     self._run_decision(prefix)
                 continue
@@ -421,15 +442,23 @@ class BgpSpeaker:
             if imported is None:
                 # Rejected: an existing route from this peer must go away.
                 self.audit.policy_filtered += 1
+                if probe is not None:
+                    probe.decision(prefix, "policy_filtered")
                 if peer.adj_rib_in.withdraw(prefix) is RouteChange.REMOVED:
                     self._run_decision(prefix)
                 continue
             if peer.adj_rib_in.update(prefix, imported) is not RouteChange.UNCHANGED:
                 self.audit.accepted += 1
+                if probe is not None:
+                    probe.decision(prefix, "accepted")
                 self._run_decision(prefix)
             else:
                 self.audit.unchanged += 1
+                if probe is not None:
+                    probe.decision(prefix, "unchanged")
         self.work.policy_evaluations += policy.evaluations - before
+        if probe is not None:
+            probe.update_end()
 
     def _record_flap(self, peer: Peer, prefix: Prefix) -> bool:
         """Record an announcement with the peer's damper; True = suppressed."""
@@ -467,12 +496,15 @@ class BgpSpeaker:
         before = self.decision.comparisons
         best = self.decision.select(self._candidates(prefix))
         self.work.decisions += self.decision.comparisons - before + 1
+        probe = self.probe
 
         if best is None:
             if self.loc_rib.remove(prefix) is RouteChange.REMOVED:
                 self.fib.delete_route(prefix)
                 self.work.fib_deletes += 1
                 self.work.loc_rib_removes += 1
+                if probe is not None:
+                    probe.fib_op("delete", prefix)
                 self._stage_withdraw_to_peers(prefix)
             self._refresh_covering_aggregates(prefix)
             return
@@ -487,10 +519,14 @@ class BgpSpeaker:
             self.fib.add_route(prefix, best.attributes.next_hop)
             self.work.fib_adds += 1
             self.work.loc_rib_adds += 1
+            if probe is not None:
+                probe.fib_op("add", prefix)
         else:
             self.fib.replace_route(prefix, best.attributes.next_hop)
             self.work.fib_replaces += 1
             self.work.loc_rib_replaces += 1
+            if probe is not None:
+                probe.fib_op("replace", prefix)
         self._stage_announce_to_peers(route)
         self._refresh_covering_aggregates(prefix)
 

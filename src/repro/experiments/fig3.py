@@ -13,6 +13,8 @@ the paper highlights and this runner reproduces:
 
 from __future__ import annotations
 
+# repro: cli — the main() entry point prints its rendering.
+
 import math
 from dataclasses import dataclass, field
 

@@ -10,6 +10,8 @@ sooner overall (higher transactions/s).
 
 from __future__ import annotations
 
+# repro: cli — the main() entry point prints its rendering.
+
 import math
 from dataclasses import dataclass, field
 

@@ -6,9 +6,10 @@
     bgpbench fig3 | fig4 | fig5 | fig6
     bgpbench all
     bgpbench scenario --platform xeon --scenario 6 [--cross-traffic 300]
+                      [--trace out.trace.json] [--metrics out.metrics.jsonl]
     bgpbench repeatability --platform pentium3 --scenario 1 --seeds 1 2 3
     bgpbench stability --platform pentium3 --rate 1500
-    bgpbench grid --workers 4 [--scenarios ...] [--table-sizes ...]
+    bgpbench grid --workers 4 [--scenarios ...] [--telemetry]
     bgpbench regress [--golden benchmarks/golden/grid-small.json] [--bless]
     bgpbench lint [paths ...] [--format json] [--select RPR001 ...]
     bgpbench check --sanitize [--platform pentium3] [--scenario 5]
@@ -19,10 +20,15 @@ on-disk cell cache; ``regress`` re-runs a committed golden baseline's
 grid and exits non-zero on drift (see docs/GRID.md). ``lint`` runs the
 determinism linter over the source tree and ``check --sanitize`` runs
 one scenario in checked mode (see docs/ANALYSIS.md); both exit
-non-zero on findings, so CI can gate on them.
+non-zero on findings, so CI can gate on them. ``--trace``/``--metrics``
+(scenario) and ``--telemetry`` (grid/regress) instrument the run with
+:mod:`repro.telemetry` — observe-only, results are byte-identical (see
+docs/TELEMETRY.md).
 """
 
 from __future__ import annotations
+
+# repro: cli — this module is the command-line entry point.
 
 import argparse
 import sys
@@ -90,6 +96,18 @@ def build_parser() -> argparse.ArgumentParser:
     single.add_argument("--platform", choices=sorted(PLATFORMS), required=True)
     single.add_argument("--scenario", type=int, choices=range(1, 9), required=True)
     single.add_argument("--cross-traffic", type=float, default=0.0, help="Mb/s")
+    single.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH",
+        help="write a Chrome trace-event file of the run (Perfetto-loadable)",
+    )
+    single.add_argument(
+        "--metrics", type=Path, default=None, metavar="PATH",
+        help="write the metric registry (.prom = Prometheus text, else JSON-lines)",
+    )
+    single.add_argument(
+        "--profile", action="store_true",
+        help="print the top-style virtual-CPU attribution after the run",
+    )
 
     repeat = sub.add_parser(
         "repeatability", help="dispersion of the metric across workload seeds"
@@ -202,6 +220,15 @@ def _add_pool_arguments(parser: argparse.ArgumentParser) -> None:
         "--sanitize", action="store_true",
         help="run executed cells in checked mode (invariant sanitizer)",
     )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="instrument executed cells and write per-cell trace/metrics "
+             "artifacts (observe-only: results are byte-identical)",
+    )
+    parser.add_argument(
+        "--telemetry-dir", type=Path, default=Path("telemetry"),
+        help="directory for per-cell telemetry artifacts (with --telemetry)",
+    )
 
 
 def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
@@ -237,6 +264,10 @@ def _make_cache(args):
     return GridCache(args.cache_dir if args.cache_dir is not None else DEFAULT_CACHE_DIR)
 
 
+def _telemetry_dir(args) -> "str | None":
+    return str(args.telemetry_dir) if args.telemetry else None
+
+
 def _run_grid(args) -> int:
     from repro.grid import enumerate_grid, run_grid
 
@@ -255,6 +286,7 @@ def _run_grid(args) -> int:
             f"  [{'cache' if cached else ' run '}] {cell_id}"
         ),
         sanitize=args.sanitize,
+        telemetry_dir=_telemetry_dir(args),
     )
     for cell_id, result in report.results.items():
         tps = result["transactions_per_second"]
@@ -265,6 +297,9 @@ def _run_grid(args) -> int:
         f"{report.hits} cache hits ({100 * report.hit_rate:.0f}%), "
         f"{args.workers} worker(s)"
     )
+    if args.telemetry and report.executed:
+        print(f"[telemetry artifacts for {report.executed} executed cell(s) "
+              f"in {args.telemetry_dir}]")
     if args.output is not None:
         args.output.parent.mkdir(parents=True, exist_ok=True)
         args.output.write_text(report.to_json() + "\n")
@@ -305,6 +340,7 @@ def _run_regress(args) -> int:
     report = run_grid(
         cells, workers=args.workers, cache=_make_cache(args),
         refresh=args.refresh, sanitize=args.sanitize,
+        telemetry_dir=_telemetry_dir(args),
     )
     if args.bless:
         path = bless(args.golden, report.results, grid_spec, tolerance)
@@ -364,6 +400,46 @@ def _run_check(args) -> int:
     return 0
 
 
+def _run_single_scenario(args) -> int:
+    instrument = (
+        args.trace is not None or args.metrics is not None or args.profile
+    )
+    telemetry = None
+    router = build_system(args.platform)
+    if instrument:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry().attach(router)
+    try:
+        result = run_scenario(
+            router,
+            args.scenario,
+            table_size=args.table_size,
+            cross_traffic_mbps=args.cross_traffic,
+            seed=args.seed,
+        )
+    finally:
+        if telemetry is not None:
+            telemetry.detach()
+    print(
+        f"{args.platform} scenario {args.scenario}: "
+        f"{result.transactions_per_second:.1f} transactions/s "
+        f"({result.transactions} transactions in {result.duration:.2f} virtual s, "
+        f"cross-traffic {result.cross_traffic_mbps:.0f} Mb/s)"
+    )
+    if telemetry is not None:
+        from repro.telemetry import build_profile, write_artifacts
+
+        for path in write_artifacts(
+            telemetry, trace_path=args.trace, metrics_path=args.metrics
+        ):
+            print(f"[written {path}]")
+        if args.profile:
+            print()
+            print(build_profile(router.cpu_monitor, telemetry.tracer.spans()).render_top())
+    return 0
+
+
 def _run_stability(args) -> None:
     from repro.benchmark.harness import SPEAKER1, SPEAKER1_ADDR, SPEAKER1_ASN
     from repro.benchmark.stability import KeepaliveProbe, offer_at_rate
@@ -416,19 +492,7 @@ def main(argv: "list[str] | None" = None) -> int:
     elif args.command == "check":
         return _run_check(args)
     elif args.command == "scenario":
-        result = run_scenario(
-            build_system(args.platform),
-            args.scenario,
-            table_size=args.table_size,
-            cross_traffic_mbps=args.cross_traffic,
-            seed=args.seed,
-        )
-        print(
-            f"{args.platform} scenario {args.scenario}: "
-            f"{result.transactions_per_second:.1f} transactions/s "
-            f"({result.transactions} transactions in {result.duration:.2f} virtual s, "
-            f"cross-traffic {result.cross_traffic_mbps:.0f} Mb/s)"
-        )
+        return _run_single_scenario(args)
     elif args.command == "repeatability":
         study = repeatability_study(
             args.platform, args.scenario, seeds=args.seeds, table_size=args.table_size

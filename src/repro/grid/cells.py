@@ -115,7 +115,11 @@ def enumerate_grid(
     return sorted(cells)
 
 
-def run_cell(cell: GridCell, sanitize: bool = False) -> dict[str, object]:
+def run_cell(
+    cell: GridCell,
+    sanitize: bool = False,
+    telemetry_dir: "str | None" = None,
+) -> dict[str, object]:
     """Execute one cell from scratch and return its JSON-ready result.
 
     Builds a fresh router, re-seeds the workload from the cell spec, and
@@ -125,17 +129,27 @@ def run_cell(cell: GridCell, sanitize: bool = False) -> dict[str, object]:
 
     With ``sanitize=True`` the run executes in checked mode: a
     :class:`repro.analysis.sanitizer.Sanitizer` observes every event and
-    the quiescent invariants are asserted after the run. Checked mode
-    observes only, so the result is byte-identical either way; a
-    violation raises :class:`~repro.analysis.sanitizer.SanitizerError`
-    instead of returning a result.
+    the quiescent invariants are asserted after the run. With
+    *telemetry_dir* set, a :class:`repro.telemetry.Telemetry` also
+    instruments the run and ``<cell_id>.trace.json`` +
+    ``<cell_id>.metrics.jsonl`` artifacts are written there. Both modes
+    observe only, so the result is byte-identical either way (sanitizer
+    violations raise :class:`~repro.analysis.sanitizer.SanitizerError`
+    instead of returning a result).
     """
     router = build_system(cell.platform)
     sanitizer = None
+    telemetry = None
     if sanitize:
         from repro.analysis.sanitizer import Sanitizer
 
         sanitizer = Sanitizer().attach(router)
+    if telemetry_dir is not None:
+        # Attach after the sanitizer: Telemetry composes with an
+        # occupied observer slot via FanoutObserver.
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry().attach(router)
     try:
         outcome = run_scenario(
             router,
@@ -146,8 +160,23 @@ def run_cell(cell: GridCell, sanitize: bool = False) -> dict[str, object]:
         if sanitizer is not None:
             sanitizer.check_quiescent()
     finally:
+        # Detach in reverse attach order so the sanitizer gets its
+        # exclusive observer slot back before releasing it.
+        if telemetry is not None:
+            telemetry.detach()
         if sanitizer is not None:
             sanitizer.detach()
+    if telemetry is not None:
+        from pathlib import Path
+
+        from repro.telemetry import write_artifacts
+
+        base = Path(telemetry_dir)
+        write_artifacts(
+            telemetry,
+            trace_path=base / f"{cell.cell_id}.trace.json",
+            metrics_path=base / f"{cell.cell_id}.metrics.jsonl",
+        )
     summary = outcome.to_jsonable()
     summary["cell"] = cell.spec()
     return summary

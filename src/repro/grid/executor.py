@@ -53,9 +53,11 @@ class GridReport:
         }
 
 
-def _execute_cell(cell: GridCell, sanitize: bool = False) -> "tuple[str, dict]":
+def _execute_cell(
+    cell: GridCell, sanitize: bool = False, telemetry_dir: "str | None" = None
+) -> "tuple[str, dict]":
     """Worker entry point — top-level so it pickles under spawn too."""
-    return cell.cell_id, run_cell(cell, sanitize=sanitize)
+    return cell.cell_id, run_cell(cell, sanitize=sanitize, telemetry_dir=telemetry_dir)
 
 
 def run_grid(
@@ -65,6 +67,7 @@ def run_grid(
     refresh: bool = False,
     progress: "Callable[[str, bool], None] | None" = None,
     sanitize: bool = False,
+    telemetry_dir: "str | None" = None,
 ) -> GridReport:
     """Run every cell, through the cache when one is given.
 
@@ -74,6 +77,11 @@ def run_grid(
     every executed cell in checked mode (observe-only, so cached and
     sanitized results stay interchangeable); an invariant violation
     propagates as :class:`repro.analysis.sanitizer.SanitizerError`.
+    *telemetry_dir* instruments every executed cell and drops per-cell
+    trace/metrics artifacts there (cache hits skip execution, so no
+    artifacts are produced for them — use *refresh* to force a full
+    instrumented sweep). Telemetry is observe-only too: results are
+    byte-identical with or without it.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1: {workers}")
@@ -91,7 +99,9 @@ def run_grid(
         else:
             pending.append(cell)
 
-    execute = functools.partial(_execute_cell, sanitize=sanitize)
+    execute = functools.partial(
+        _execute_cell, sanitize=sanitize, telemetry_dir=telemetry_dir
+    )
     if workers <= 1 or len(pending) <= 1:
         computed = map(execute, pending)
     else:

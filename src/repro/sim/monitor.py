@@ -12,27 +12,24 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.sim.cpu import Machine, Task
+from repro.telemetry.buckets import spread as _spread
 
-
-def _spread(start: float, end: float, width: float):
-    """Split [start, end) at bucket boundaries of *width*; yield
-    (bucket_index, overlap_seconds)."""
-    if end <= start:
-        return
-    index = int(start // width)
-    cursor = start
-    while cursor < end:
-        boundary = (index + 1) * width
-        upper = min(boundary, end)
-        yield index, upper - cursor
-        cursor = upper
-        index += 1
+if TYPE_CHECKING:
+    from repro.telemetry.metrics import MetricRegistry
 
 
 class CpuMonitor:
-    """Per-bucket, per-task CPU-seconds accounting for one machine."""
+    """Per-bucket, per-task CPU-seconds accounting for one machine.
+
+    Bucket splitting uses the shared :func:`repro.telemetry.buckets.
+    spread` primitive. When bound to a :class:`~repro.telemetry.metrics.
+    MetricRegistry` (``bind_registry``), every recorded interval also
+    publishes to the ``repro_cpu_seconds_total{machine,task}`` counter —
+    observe-only, so binding never changes results.
+    """
 
     def __init__(self, machine: Machine, bucket_width: float = 1.0):
         if bucket_width <= 0:
@@ -40,11 +37,25 @@ class CpuMonitor:
         self.machine = machine
         self.bucket_width = bucket_width
         self._usage: dict[int, dict[str, float]] = defaultdict(lambda: defaultdict(float))
+        self._counter = None
         machine.monitors.append(self)
+
+    def bind_registry(self, registry: "MetricRegistry | None") -> None:
+        """Start (or, with ``None``, stop) publishing into *registry*."""
+        if registry is None:
+            self._counter = None
+            return
+        self._counter = registry.counter(
+            "repro_cpu_seconds_total",
+            "virtual CPU seconds served, by machine and task",
+            ("machine", "task"),
+        )
 
     def record(self, task: Task, start: float, end: float, served: float) -> None:
         if served <= 0.0:
             return
+        if self._counter is not None:
+            self._counter.inc(served, machine=self.machine.name, task=task.name)
         duration = end - start
         for bucket, overlap in _spread(start, end, self.bucket_width):
             self._usage[bucket][task.name] += served * overlap / duration
@@ -59,6 +70,11 @@ class CpuMonitor:
             usage = self._usage[bucket].get(task_name, 0.0)
             series.append((bucket * self.bucket_width, usage * scale))
         return series
+
+    def bucket_usage(self) -> dict[int, dict[str, float]]:
+        """Copy of the raw (bucket_index → task → cpu-seconds) table —
+        the input :mod:`repro.telemetry.profile` attributes to phases."""
+        return {bucket: dict(tasks) for bucket, tasks in self._usage.items()}
 
     def task_names(self) -> list[str]:
         names = {name for bucket in self._usage.values() for name in bucket}
@@ -92,13 +108,37 @@ class RateMonitor:
         self.scale = scale
         self.bucket_width = bucket_width
         self._samples: dict[int, _RateSample] = defaultdict(_RateSample)
+        self._served_counter = None
+        self._offered_counter = None
         machine.monitors.append(self)
+
+    def bind_registry(self, registry: "MetricRegistry | None") -> None:
+        """Start (or, with ``None``, stop) publishing served/offered work
+        (in scaled units) into *registry*."""
+        if registry is None:
+            self._served_counter = None
+            self._offered_counter = None
+            return
+        self._served_counter = registry.counter(
+            "repro_forwarding_served_total",
+            "forwarding work served, in the monitor's scaled units",
+            ("task",),
+        )
+        self._offered_counter = registry.counter(
+            "repro_forwarding_offered_total",
+            "forwarding work offered, in the monitor's scaled units",
+            ("task",),
+        )
 
     def record(self, task: Task, start: float, end: float, served: float) -> None:
         if task is not self.task:
             return
         demand = task.continuous_demand + task.background_demand
         duration = end - start
+        if self._served_counter is not None and served > 0.0:
+            self._served_counter.inc(self.scale * served, task=task.name)
+        if self._offered_counter is not None and demand * duration > 0.0:
+            self._offered_counter.inc(self.scale * demand * duration, task=task.name)
         for bucket, overlap in _spread(start, end, self.bucket_width):
             sample = self._samples[bucket]
             sample.served += served * overlap / duration

@@ -8,6 +8,8 @@ the data behind Gantt-style renderings of the XORP pipeline.
 
 from __future__ import annotations
 
+# repro: boundary — intervals are exported into telemetry artifacts.
+
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -26,6 +28,14 @@ class ServiceInterval:
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+    def to_jsonable(self) -> dict[str, object]:
+        return {
+            "task": self.task,
+            "start": self.start,
+            "end": self.end,
+            "cpu_seconds": self.cpu_seconds,
+        }
 
 
 class ExecutionTrace:

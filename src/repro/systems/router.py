@@ -73,6 +73,9 @@ class RouterSystem:
         self.packets_completed = 0
         self.last_completion = 0.0
         self.on_packet_done: Callable[[], None] | None = None
+        #: Optional :class:`repro.telemetry.Telemetry` instrumenting this
+        #: run (set by ``Telemetry.attach``). Observe-only.
+        self.telemetry = None
         #: When True, (arrival_time, completion_time) is recorded per
         #: packet in :attr:`latency_samples` — the update-to-FIB latency
         #: metric (a natural companion to transactions/s).
@@ -148,12 +151,19 @@ class RouterSystem:
         delta = work_delta(self.speaker.work, before)
         return delta.prefixes_sent, delta.updates_sent
 
-    def _packet_done(self, transactions: int, arrived_at: float | None = None) -> None:
+    def _packet_done(
+        self,
+        transactions: int,
+        arrived_at: float | None = None,
+        span: object | None = None,
+    ) -> None:
         self.transactions_completed += transactions
         self.packets_completed += 1
         self.last_completion = self.world.sim.now
         if self.collect_latency and arrived_at is not None:
             self.latency_samples.append((arrived_at, self.world.sim.now))
+        if span is not None and self.telemetry is not None:
+            self.telemetry.packet_end(span, transactions)
         if self.on_packet_done is not None:
             self.on_packet_done()
 
@@ -233,7 +243,12 @@ class XorpRouter(RouterSystem):
 
     def _arrive(self, peer_id: str, data: bytes) -> None:
         arrived_at = self.world.sim.now
+        span = None
+        if self.telemetry is not None:
+            span = self.telemetry.packet_begin(peer_id)
         delta = self._functional_receive(peer_id, data)
+        if span is not None:
+            self.telemetry.packet_parsed(span)
         charges = charges_for(self.costs, delta)
 
         stages: list[tuple[Task, float]] = [
@@ -260,7 +275,7 @@ class XorpRouter(RouterSystem):
             ]
             self._submit_chain(
                 [(task, cost) for task, cost in export_stages if cost > _TINY],
-                lambda: self._packet_done(delta.transactions, arrived_at),
+                lambda: self._packet_done(delta.transactions, arrived_at, span),
             )
 
         self._submit_chain(
@@ -354,7 +369,14 @@ class CiscoRouter(RouterSystem):
         if self._head > 1024 and self._head * 2 > len(self._queue):
             del self._queue[: self._head]
             self._head = 0
+        span = None
+        if self.telemetry is not None:
+            # The span covers the packet's whole residence, queueing
+            # included, so it starts at the recorded arrival time.
+            span = self.telemetry.packet_begin(peer_id, start=arrived_at)
         delta = self._functional_receive(peer_id, data)
+        if span is not None:
+            self.telemetry.packet_parsed(span)
         work = (
             self.costs.prefix_announce * delta.prefixes_announced
             + self.costs.prefix_withdraw * delta.prefixes_withdrawn
@@ -370,15 +392,18 @@ class CiscoRouter(RouterSystem):
             export_work = self.costs.export_prefix * export_prefixes
             if export_work > _TINY:
                 self.ios.submit(
-                    export_work, lambda: self._finish(delta.transactions, arrived_at)
+                    export_work,
+                    lambda: self._finish(delta.transactions, arrived_at, span),
                 )
             else:
-                self._finish(delta.transactions, arrived_at)
+                self._finish(delta.transactions, arrived_at, span)
 
         self.ios.submit(work, flush_then_finish)
 
-    def _finish(self, transactions: int, arrived_at: float) -> None:
-        self._packet_done(transactions, arrived_at)
+    def _finish(
+        self, transactions: int, arrived_at: float, span: object | None = None
+    ) -> None:
+        self._packet_done(transactions, arrived_at, span)
         if self._head < len(self._queue):
             self._schedule_release()
         else:

@@ -1,0 +1,41 @@
+"""Shared bucketing arithmetic for every time-series collector.
+
+Monitors (:mod:`repro.sim.monitor`), histograms
+(:mod:`repro.telemetry.metrics`), and the CPU-attribution profiler
+(:mod:`repro.telemetry.profile`) all need the same primitive: split a
+half-open virtual-time interval across fixed-width buckets, or measure
+its overlap with an arbitrary window. Keeping the arithmetic in one
+place keeps every consumer's edge behaviour identical — an interval
+ending exactly on a bucket boundary contributes nothing to the next
+bucket, and a zero-width interval contributes nothing at all.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+def spread(start: float, end: float, width: float) -> Iterator[tuple[int, float]]:
+    """Split ``[start, end)`` at bucket boundaries of *width*; yield
+    ``(bucket_index, overlap_seconds)`` pairs in bucket order.
+
+    The interval is half-open: an interval ending exactly on a bucket
+    edge never yields the bucket starting at that edge, and a zero- (or
+    negative-) width interval yields nothing. Every yielded overlap is
+    strictly positive and the overlaps sum to ``end - start``.
+    """
+    if end <= start:
+        return
+    index = int(start // width)
+    cursor = start
+    while cursor < end:
+        boundary = (index + 1) * width
+        upper = min(boundary, end)
+        yield index, upper - cursor
+        cursor = upper
+        index += 1
+
+
+def overlap(start: float, end: float, lo: float, hi: float) -> float:
+    """Length of ``[start, end) ∩ [lo, hi)``; zero when disjoint."""
+    return max(0.0, min(end, hi) - max(start, lo))

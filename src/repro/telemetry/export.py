@@ -1,0 +1,366 @@
+"""Exporters: JSON-lines, Prometheus text exposition, Chrome trace JSON.
+
+Three artifact formats, one per consumer class:
+
+* **JSON-lines** (``*.jsonl``) — the lossless machine format: one
+  ``family`` line per metric family followed by one ``sample`` line per
+  labelled child. :func:`parse_metrics_jsonl` reconstructs exactly the
+  :meth:`~repro.telemetry.metrics.MetricRegistry.state` snapshot that
+  produced it (the round-trip the tests pin).
+* **Prometheus text exposition** (``*.prom``) — for scraping tooling;
+  counters/gauges as single samples, histograms as cumulative
+  ``_bucket``/``_sum``/``_count`` series.
+* **Chrome trace events** (``*.trace.json``) — the span forest as
+  ``"ph": "X"`` complete events, loadable in Perfetto /
+  ``chrome://tracing``. Overlapping sibling spans (a windowed packet
+  stream keeps several in flight) are laid out on separate ``tid``
+  tracks; exact virtual timestamps ride in ``args.t0``/``args.t1`` so
+  :func:`parse_chrome_trace` round-trips spans losslessly (``ts`` is
+  microseconds and would otherwise quantise).
+
+All output is deterministic: families in name order, children in label
+order, spans in creation order.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.telemetry.metrics import MetricRegistry
+from repro.telemetry.spans import Span, Tracer
+
+if TYPE_CHECKING:
+    from repro.telemetry.probe import Telemetry
+
+
+def _dumps(payload: object) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+# -- JSON-lines metrics ------------------------------------------------------
+
+
+def metrics_to_jsonl(registry: MetricRegistry) -> str:
+    """One JSON object per line; lossless against ``registry.state()``."""
+    lines: list[str] = []
+    state = registry.state()
+    for name, family in state.items():
+        declaration: dict[str, object] = {
+            "type": "family",
+            "name": name,
+            "kind": family["kind"],
+            "help": family["help"],
+            "label_names": family["labels"],
+        }
+        if family["kind"] == "histogram":
+            declaration["buckets"] = family["buckets"]
+        lines.append(_dumps(declaration))
+        for child in family["children"]:  # type: ignore[union-attr]
+            sample: dict[str, object] = {
+                "type": "sample",
+                "name": name,
+                "labels": child["labels"],
+                "time": child["time"],
+            }
+            if family["kind"] == "histogram":
+                sample["counts"] = child["counts"]
+                sample["sum"] = child["sum"]
+                sample["count"] = child["count"]
+            elif family["kind"] == "gauge":
+                sample["value"] = child["value"]
+                sample["samples"] = child["samples"]
+            else:
+                sample["value"] = child["value"]
+            lines.append(_dumps(sample))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_metrics_jsonl(text: str) -> dict[str, object]:
+    """Rebuild the ``MetricRegistry.state()`` snapshot from JSON-lines."""
+    state: dict[str, dict] = {}
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        kind = record.get("type")
+        if kind == "family":
+            family: dict[str, object] = {
+                "kind": record["kind"],
+                "help": record["help"],
+                "labels": record["label_names"],
+                "children": [],
+            }
+            if record["kind"] == "histogram":
+                family["buckets"] = record["buckets"]
+            state[record["name"]] = family
+        elif kind == "sample":
+            family = state.get(record["name"])
+            if family is None:
+                raise ValueError(
+                    f"line {line_number}: sample for undeclared family "
+                    f"{record['name']!r}"
+                )
+            child: dict[str, object] = {
+                "labels": record["labels"],
+                "time": record["time"],
+            }
+            if family["kind"] == "histogram":
+                child["counts"] = record["counts"]
+                child["sum"] = record["sum"]
+                child["count"] = record["count"]
+            elif family["kind"] == "gauge":
+                child["value"] = record["value"]
+                child["samples"] = record["samples"]
+            else:
+                child["value"] = record["value"]
+            family["children"].append(child)  # type: ignore[union-attr]
+        else:
+            raise ValueError(f"line {line_number}: unknown record type {kind!r}")
+    return state
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(names: Iterable[str], values: Iterable[str], extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label(value)}"' for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def metrics_to_prometheus(registry: MetricRegistry) -> str:
+    """The text exposition format scraping tools ingest."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for label_values, child in metric.children():
+            labels = _format_labels(metric.label_names, label_values)
+            if metric.kind == "histogram":
+                cumulative = 0
+                for edge, count in zip(metric.buckets, child["counts"]):  # type: ignore[attr-defined]
+                    cumulative += count
+                    bucket_labels = _format_labels(
+                        metric.label_names, label_values, f'le="{_format_value(edge)}"'
+                    )
+                    lines.append(
+                        f"{metric.name}_bucket{bucket_labels} {cumulative}"
+                    )
+                cumulative += child["counts"][-1]
+                inf_labels = _format_labels(
+                    metric.label_names, label_values, 'le="+Inf"'
+                )
+                lines.append(f"{metric.name}_bucket{inf_labels} {cumulative}")
+                lines.append(f"{metric.name}_sum{labels} {_format_value(child['sum'])}")
+                lines.append(f"{metric.name}_count{labels} {child['count']}")
+            else:
+                lines.append(
+                    f"{metric.name}{labels} {_format_value(child['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> dict[str, object]:
+    """A minimal exposition-format parser: enough to verify our own
+    output is well-formed. Returns ``{"types": {name: kind}, "samples":
+    [(name, {label: value}, float)]}``; raises ``ValueError`` on any
+    line it cannot parse."""
+    types: dict[str, str] = {}
+    samples: list[tuple[str, dict[str, str], float]] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if not name or kind not in ("counter", "gauge", "histogram", "untyped"):
+                raise ValueError(f"line {line_number}: malformed TYPE line")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        name, labels, remainder = _parse_sample_name(line, line_number)
+        value_text = remainder.strip()
+        if not value_text:
+            raise ValueError(f"line {line_number}: missing sample value")
+        try:
+            value = float(value_text)
+        except ValueError as error:
+            raise ValueError(f"line {line_number}: bad value {value_text!r}") from error
+        samples.append((name, labels, value))
+    return {"types": types, "samples": samples}
+
+
+def _parse_sample_name(line: str, line_number: int) -> tuple[str, dict[str, str], str]:
+    brace = line.find("{")
+    if brace == -1:
+        name, _, remainder = line.partition(" ")
+        if not name:
+            raise ValueError(f"line {line_number}: missing metric name")
+        return name, {}, remainder
+    name = line[:brace]
+    closing = line.find("}", brace)
+    if closing == -1:
+        raise ValueError(f"line {line_number}: unterminated label block")
+    labels: dict[str, str] = {}
+    body = line[brace + 1 : closing]
+    if body:
+        for part in body.split(","):
+            key, eq, raw = part.partition("=")
+            if eq != "=" or not raw.startswith('"') or not raw.endswith('"'):
+                raise ValueError(f"line {line_number}: malformed label {part!r}")
+            labels[key] = (
+                raw[1:-1]
+                .replace("\\n", "\n")
+                .replace('\\"', '"')
+                .replace("\\\\", "\\")
+            )
+    return name, labels, line[closing + 1 :]
+
+
+# -- Chrome trace events -----------------------------------------------------
+
+#: Seconds of virtual time per Chrome-trace microsecond tick.
+_MICROSECONDS = 1e6
+
+
+def _allocate_tracks(spans: Sequence[Span]) -> dict[int, int]:
+    """Greedy track (``tid``) assignment so overlapping spans render on
+    separate rows: each span takes the lowest-numbered track that is
+    free at its start time. Deterministic given creation order."""
+    track_free_at: list[float] = []
+    assignment: dict[int, int] = {}
+    for span in spans:
+        end = span.end if span.end is not None else span.start
+        for track, free_at in enumerate(track_free_at):
+            if free_at <= span.start:
+                assignment[span.span_id] = track
+                track_free_at[track] = end
+                break
+        else:
+            assignment[span.span_id] = len(track_free_at)
+            track_free_at.append(end)
+    return assignment
+
+
+def spans_to_chrome_trace(source: "Tracer | Sequence[Span]") -> str:
+    """The span forest as Chrome trace-event JSON (Perfetto-loadable)."""
+    spans = source.spans() if isinstance(source, Tracer) else list(source)
+    tracks = _allocate_tracks(spans)
+    events: list[dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "bgpbench (virtual time)"},
+        }
+    ]
+    for span in spans:
+        end = span.end if span.end is not None else span.start
+        args = dict(span.args)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args["t0"] = span.start
+        args["t1"] = end
+        if span.backdated:
+            args["backdated"] = True
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start * _MICROSECONDS,
+                "dur": (end - span.start) * _MICROSECONDS,
+                "pid": 0,
+                "tid": tracks[span.span_id],
+                "args": args,
+            }
+        )
+    return json.dumps(
+        {"traceEvents": events, "displayTimeUnit": "ms"}, sort_keys=True, indent=1
+    )
+
+
+def parse_chrome_trace(text: str) -> list[Span]:
+    """Rebuild the span list from Chrome trace-event JSON, using the
+    exact ``args.t0``/``args.t1`` stamps; spans return in creation
+    (span-id) order."""
+    payload = json.loads(text)
+    spans: list[Span] = []
+    for event in payload["traceEvents"]:
+        if event.get("ph") != "X":
+            continue
+        args = dict(event["args"])
+        span_id = args.pop("span_id")
+        parent_id = args.pop("parent_id", None)
+        start = args.pop("t0")
+        end = args.pop("t1")
+        backdated = bool(args.pop("backdated", False))
+        spans.append(
+            Span(
+                span_id=span_id,
+                parent_id=parent_id,
+                name=event["name"],
+                category=event.get("cat", ""),
+                start=start,
+                end=end,
+                args=args,
+                backdated=backdated,
+            )
+        )
+    spans.sort(key=lambda span: span.span_id)
+    return spans
+
+
+# -- file helpers ------------------------------------------------------------
+
+
+def write_trace(source: "Tracer | Sequence[Span]", path: "Path | str") -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(spans_to_chrome_trace(source) + "\n")
+    return path
+
+
+def write_metrics(registry: MetricRegistry, path: "Path | str") -> Path:
+    """Write metrics in the format the suffix names: ``.prom`` gets the
+    Prometheus exposition, anything else JSON-lines."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix == ".prom":
+        path.write_text(metrics_to_prometheus(registry))
+    else:
+        path.write_text(metrics_to_jsonl(registry))
+    return path
+
+
+def write_artifacts(
+    telemetry: "Telemetry",
+    trace_path: "Path | str | None" = None,
+    metrics_path: "Path | str | None" = None,
+) -> list[Path]:
+    """Write whichever artifacts were asked for; returns written paths."""
+    written: list[Path] = []
+    if trace_path is not None:
+        written.append(write_trace(telemetry.tracer, trace_path))
+    if metrics_path is not None:
+        written.append(write_metrics(telemetry.registry, metrics_path))
+    return written

@@ -1,0 +1,262 @@
+"""Deterministic metrics: labeled counters, gauges, and histograms.
+
+A :class:`MetricRegistry` is the single collection point every collector
+publishes into. It is deliberately *deterministic*:
+
+* metric families collect in name order and children in label order, so
+  two identical runs export byte-identical artifacts;
+* histogram bucket edges are fixed at registration time — no run-time
+  re-bucketing that would make artifact shape depend on observed data;
+* every update is stamped with the **virtual** clock (``registry.clock``
+  is bound to ``Simulator.now`` on attach), never the wall clock.
+
+Publishing is observe-only by construction: metric objects hold plain
+Python state, never schedule events, and never feed values back into
+the simulation — an instrumented run stays byte-identical to a plain
+one (see docs/TELEMETRY.md, "observe-only guarantee").
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Callable, Iterator
+
+#: Prometheus-compatible metric and label name shapes.
+_NAME_PATTERN = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_PATTERN = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Fixed histogram bucket edges (seconds). Spanning 100 µs to 10 s they
+#: cover every per-packet latency the platform models can produce; being
+#: a module constant, every run buckets identically.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+class Metric:
+    """One metric family: a name plus one child per label-value tuple."""
+
+    kind = "untyped"
+
+    def __init__(self, registry: "MetricRegistry", name: str, help: str, label_names: tuple[str, ...]):
+        self.registry = registry
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self._children: dict[tuple[str, ...], dict] = {}
+
+    def _label_values(self, labels: dict[str, str]) -> tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, got "
+                f"{tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def _child(self, labels: dict[str, str]) -> dict:
+        key = self._label_values(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    def _new_child(self) -> dict:
+        raise NotImplementedError
+
+    def children(self) -> Iterator[tuple[tuple[str, ...], dict]]:
+        """(label_values, state) pairs in sorted label order."""
+        for key in sorted(self._children):
+            yield key, self._children[key]
+
+    def labelled(self, *values: str) -> dict:
+        """The child state for exact label values (test/query helper)."""
+        return self._children[tuple(values)]
+
+
+class Counter(Metric):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def _new_child(self) -> dict:
+        return {"value": 0.0, "time": self.registry.clock()}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters only go up ({amount})")
+        child = self._child(labels)
+        child["value"] += amount
+        child["time"] = self.registry.clock()
+
+    def value(self, **labels: str) -> float:
+        child = self._children.get(self._label_values(labels))
+        return 0.0 if child is None else child["value"]
+
+
+class Gauge(Metric):
+    """A point-in-time value; every ``set`` appends to the virtual-time
+    sample series, so a gauge doubles as a time series."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> dict:
+        return {"value": 0.0, "time": self.registry.clock(), "samples": []}
+
+    def set(self, value: float, **labels: str) -> None:
+        child = self._child(labels)
+        now = self.registry.clock()
+        child["value"] = value
+        child["time"] = now
+        child["samples"].append((now, value))
+
+    def value(self, **labels: str) -> float:
+        child = self._children.get(self._label_values(labels))
+        return 0.0 if child is None else child["value"]
+
+    def series(self, **labels: str) -> list[tuple[float, float]]:
+        child = self._children.get(self._label_values(labels))
+        return [] if child is None else list(child["samples"])
+
+
+class Histogram(Metric):
+    """Counts of observations against fixed bucket edges.
+
+    ``counts[i]`` counts observations ``<= edges[i]``; the final slot
+    counts the overflow (``+Inf`` bucket), so ``sum(counts) == count``.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, registry, name, help, label_names, buckets: tuple[float, ...]):
+        if not buckets:
+            raise ValueError(f"{name}: need at least one bucket edge")
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError(f"{name}: bucket edges must be strictly increasing")
+        if any(math.isinf(edge) for edge in buckets):
+            raise ValueError(f"{name}: +Inf bucket is implicit, do not pass it")
+        super().__init__(registry, name, help, label_names)
+        self.buckets = tuple(float(edge) for edge in buckets)
+
+    def _new_child(self) -> dict:
+        return {
+            "counts": [0] * (len(self.buckets) + 1),
+            "sum": 0.0,
+            "count": 0,
+            "time": self.registry.clock(),
+        }
+
+    def observe(self, value: float, **labels: str) -> None:
+        child = self._child(labels)
+        index = len(self.buckets)
+        for position, edge in enumerate(self.buckets):
+            if value <= edge:
+                index = position
+                break
+        child["counts"][index] += 1
+        child["sum"] += value
+        child["count"] += 1
+        child["time"] = self.registry.clock()
+
+
+class MetricRegistry:
+    """The collection point: named metric families, deterministic order.
+
+    Registration is idempotent for an identical (kind, labels, buckets)
+    signature — collectors created at different times can share a
+    family — and a conflicting re-registration is an error rather than
+    a silent second family.
+    """
+
+    def __init__(self, clock: "Callable[[], float] | None" = None):
+        #: Virtual-time source; rebound by ``Telemetry.attach``.
+        self.clock: Callable[[], float] = clock if clock is not None else _zero_clock
+        self._metrics: dict[str, Metric] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def counter(self, name: str, help: str = "", labels: tuple[str, ...] = ()) -> Counter:
+        return self._register(Counter, name, help, tuple(labels))
+
+    def gauge(self, name: str, help: str = "", labels: tuple[str, ...] = ()) -> Gauge:
+        return self._register(Gauge, name, help, tuple(labels))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        metric = self._register(Histogram, name, help, tuple(labels), tuple(buckets))
+        if metric.buckets != tuple(float(b) for b in buckets):
+            raise ValueError(f"{name}: re-registered with different bucket edges")
+        return metric
+
+    def _register(self, cls: type, name: str, help: str, labels: tuple[str, ...], *extra) -> Metric:
+        if not _NAME_PATTERN.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labels:
+            if not _LABEL_PATTERN.match(label):
+                raise ValueError(f"{name}: invalid label name {label!r}")
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.label_names != labels:
+                raise ValueError(
+                    f"metric {name} already registered as {existing.kind}"
+                    f"{existing.label_names}"
+                )
+            return existing
+        metric = cls(self, name, help, labels, *extra)
+        self._metrics[name] = metric
+        return metric
+
+    # -- collection --------------------------------------------------------
+
+    def collect(self) -> list[Metric]:
+        """Every family, in name order (the deterministic export order)."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def get(self, name: str) -> Metric:
+        return self._metrics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def state(self) -> dict[str, object]:
+        """Canonical plain-data snapshot of every family — the shape the
+        exporter round-trip tests compare against."""
+        out: dict[str, object] = {}
+        for metric in self.collect():
+            children = []
+            for label_values, child in metric.children():
+                entry: dict[str, object] = {
+                    "labels": dict(zip(metric.label_names, label_values)),
+                    "time": child["time"],
+                }
+                if metric.kind == "histogram":
+                    entry["counts"] = list(child["counts"])
+                    entry["sum"] = child["sum"]
+                    entry["count"] = child["count"]
+                elif metric.kind == "gauge":
+                    entry["value"] = child["value"]
+                    entry["samples"] = [[t, v] for t, v in child["samples"]]
+                else:
+                    entry["value"] = child["value"]
+                children.append(entry)
+            family: dict[str, object] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "labels": list(metric.label_names),
+                "children": children,
+            }
+            if metric.kind == "histogram":
+                family["buckets"] = list(metric.buckets)  # type: ignore[attr-defined]
+            out[metric.name] = family
+        return out

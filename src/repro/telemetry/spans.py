@@ -1,0 +1,208 @@
+"""Hierarchical spans over virtual time.
+
+A :class:`Tracer` records :class:`Span` nodes — phase → packet → UPDATE
+message → per-prefix decision / FIB install — with start/end stamps
+taken from the **virtual** clock. Concurrency is natural here: a
+windowed stream keeps several packet spans open at once, so spans form
+a forest keyed by explicit ``parent_id`` links rather than a single
+stack; the *context stack* only scopes the synchronous part of
+processing (the functional receive path), which is where the speaker's
+probe events need a parent.
+
+Everything is observe-only: recording a span never touches the
+simulator, so a traced run is byte-identical to a plain one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+@dataclass(slots=True)
+class Span:
+    """One node of the trace forest."""
+
+    span_id: int
+    parent_id: "int | None"
+    name: str
+    category: str
+    start: float
+    end: "float | None" = None
+    args: dict[str, object] = field(default_factory=dict)
+    #: True when the span was opened with an explicit earlier start (a
+    #: queued packet's residence time): exempt from the creation-order
+    #: monotonicity invariant, which tracks the recording clock.
+    backdated: bool = False
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def to_jsonable(self) -> dict[str, object]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "start": self.start,
+            "end": self.end,
+            "args": dict(self.args),
+            "backdated": self.backdated,
+        }
+
+
+class Tracer:
+    """Records spans against a pluggable virtual clock.
+
+    ``open``/``close`` manage long-lived spans (a packet in flight);
+    ``push``/``pop`` scope the context stack that parents synchronous
+    child spans; ``instant`` records a zero-width span at the current
+    clock. Span ids are allocated in creation order, so two identical
+    runs produce identical traces.
+    """
+
+    def __init__(self, clock: "Callable[[], float] | None" = None):
+        #: Virtual-time source; rebound by ``Telemetry.attach``.
+        self.clock: Callable[[], float] = clock if clock is not None else _zero_clock
+        self._spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    # -- recording ---------------------------------------------------------
+
+    def open(
+        self,
+        name: str,
+        category: str = "",
+        parent: "Span | None" = None,
+        start: "float | None" = None,
+        **args: object,
+    ) -> Span:
+        """Start a span. *parent* defaults to the current context span;
+        *start* defaults to the clock (an explicit earlier stamp lets a
+        queued packet's span begin at its arrival time)."""
+        if parent is None:
+            parent = self.current
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            category=category,
+            start=self.clock() if start is None else start,
+            args=dict(args),
+            backdated=start is not None,
+        )
+        self._next_id += 1
+        self._spans.append(span)
+        return span
+
+    def close(self, span: Span, **args: object) -> Span:
+        """Stamp the span's end with the current clock; extra keyword
+        arguments merge into the span's args."""
+        if span.end is not None:
+            raise ValueError(f"span {span.span_id} ({span.name}) already closed")
+        span.end = self.clock()
+        if args:
+            span.args.update(args)
+        return span
+
+    def instant(self, name: str, category: str = "", **args: object) -> Span:
+        span = self.open(name, category, **args)
+        span.end = span.start
+        return span
+
+    # -- context stack -----------------------------------------------------
+
+    def push(self, span: Span) -> Span:
+        self._stack.append(span)
+        return span
+
+    def pop(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise ValueError(
+                f"context stack out of order: popping {span.name} "
+                f"(top: {self._stack[-1].name if self._stack else 'empty'})"
+            )
+        self._stack.pop()
+
+    @property
+    def current(self) -> "Span | None":
+        return self._stack[-1] if self._stack else None
+
+    # -- queries -----------------------------------------------------------
+
+    def spans(self, category: "str | None" = None) -> list[Span]:
+        """All recorded spans in creation (= start) order."""
+        if category is None:
+            return list(self._spans)
+        return [span for span in self._spans if span.category == category]
+
+    def open_spans(self) -> list[Span]:
+        return [span for span in self._spans if span.end is None]
+
+    def finish(self) -> None:
+        """Close any still-open spans at the current clock (run teardown)."""
+        now = self.clock()
+        for span in self._spans:
+            if span.end is None:
+                span.end = now
+        self._stack.clear()
+
+
+def validate_spans(spans: Sequence[Span] | Iterable[Span]) -> None:
+    """Assert the structural invariants every well-formed trace holds:
+
+    * every span is closed and has ``end >= start``;
+    * every parent reference resolves to an earlier-created span;
+    * every child lies within its parent's ``[start, end]`` window;
+    * creation order is start-time monotone (virtual time never ran
+      backwards while recording) — except for explicitly *backdated*
+      spans, which carry a queued packet's arrival stamp and may start
+      before spans recorded while it waited.
+
+    Raises ``ValueError`` naming the first violated invariant.
+    """
+    spans = list(spans)
+    by_id: dict[int, Span] = {}
+    last_start = float("-inf")
+    for span in spans:
+        if span.end is None:
+            raise ValueError(f"span {span.span_id} ({span.name}) never closed")
+        if span.end < span.start:
+            raise ValueError(
+                f"span {span.span_id} ({span.name}) ends before it starts: "
+                f"[{span.start}, {span.end}]"
+            )
+        if not span.backdated:
+            if span.start < last_start:
+                raise ValueError(
+                    f"span {span.span_id} ({span.name}) starts at {span.start}, "
+                    f"before an earlier span's start {last_start} — creation "
+                    f"order is not time-monotone"
+                )
+            last_start = span.start
+        if span.parent_id is not None:
+            parent = by_id.get(span.parent_id)
+            if parent is None:
+                raise ValueError(
+                    f"span {span.span_id} ({span.name}) references unknown "
+                    f"or later parent {span.parent_id}"
+                )
+            assert parent.end is not None
+            if span.start < parent.start or span.end > parent.end:
+                raise ValueError(
+                    f"span {span.span_id} ({span.name}) "
+                    f"[{span.start}, {span.end}] escapes parent "
+                    f"{parent.span_id} ({parent.name}) "
+                    f"[{parent.start}, {parent.end}]"
+                )
+        by_id[span.span_id] = span

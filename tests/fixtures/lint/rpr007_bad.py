@@ -1,0 +1,7 @@
+"""RPR007 fixture: a library module writing to shared stdout."""
+
+
+def summarise(values: list) -> float:
+    total = float(len(values))
+    print("summarised", total)
+    return total

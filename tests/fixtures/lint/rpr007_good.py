@@ -1,0 +1,9 @@
+"""RPR007 fixture: a CLI entry point owns stdout."""
+
+# repro: cli — this module is a command-line entry point.
+
+
+def main(values: list) -> float:
+    total = float(len(values))
+    print("summarised", total)
+    return total

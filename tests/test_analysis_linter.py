@@ -18,7 +18,7 @@ from repro.analysis.rules import all_rules, get_rule, rule_ids
 from repro.experiments.runner import main as bgpbench
 
 FIXTURES = Path(__file__).parent / "fixtures" / "lint"
-RULE_IDS = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006")
+RULE_IDS = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007")
 
 
 def lint_fixture(name: str):
@@ -75,6 +75,26 @@ class TestSuppression:
 
     def test_line_without_noqa(self):
         assert suppressed_ids("now = time.time()") is None
+
+
+class TestPrintRule:
+    def test_library_print_flagged(self):
+        findings, _ = lint_source("lib.py", "print('hello')\n")
+        assert [f.rule_id for f in findings] == ["RPR007"]
+
+    def test_cli_marker_exempts_module(self):
+        findings, _ = lint_source(
+            "cli.py", "# repro: cli — entry point\nprint('hello')\n"
+        )
+        assert findings == []
+
+    def test_targeted_noqa_suppresses_print(self):
+        findings, _ = lint_source("lib.py", "print('x')  # repro: noqa[RPR007]\n")
+        assert findings == []
+
+    def test_print_method_not_flagged(self):
+        findings, _ = lint_source("lib.py", "console.print('x')\n")
+        assert findings == []
 
 
 class TestReports:

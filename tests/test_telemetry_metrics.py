@@ -1,0 +1,150 @@
+"""The metric registry: instruments, labels, registration discipline.
+
+These tests pin the semantics the exporters and the golden gate lean
+on: registration is idempotent for identical signatures and loud for
+conflicting ones, histogram bucket counts always sum to the observation
+count, and ``state()`` is a canonical (sorted, JSON-ready) snapshot.
+"""
+
+import pytest
+
+from repro.telemetry.metrics import DEFAULT_BUCKETS, MetricRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricRegistry()
+        counter = reg.counter("repro_things_total", "things")
+        assert counter.value() == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == pytest.approx(3.5)
+
+    def test_labelled_children_are_independent(self):
+        reg = MetricRegistry()
+        counter = reg.counter("repro_pkts_total", "pkts", ("peer",))
+        counter.inc(peer="p1")
+        counter.inc(3, peer="p2")
+        assert counter.value(peer="p1") == 1.0
+        assert counter.value(peer="p2") == 3.0
+        assert counter.value(peer="p3") == 0.0
+
+    def test_negative_increment_rejected(self):
+        reg = MetricRegistry()
+        counter = reg.counter("repro_things_total", "things")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_missing_label_rejected(self):
+        reg = MetricRegistry()
+        counter = reg.counter("repro_pkts_total", "pkts", ("peer",))
+        with pytest.raises(ValueError):
+            counter.inc()
+
+
+class TestGauge:
+    def test_set_overwrites_and_keeps_series(self):
+        times = iter([1.0, 2.0, 3.0])
+        reg = MetricRegistry(clock=lambda: next(times))
+        gauge = reg.gauge("repro_depth", "queue depth")
+        gauge.set(4.0)
+        gauge.set(7.0)
+        assert gauge.value() == 7.0
+        # The first clock tick stamps child creation; sets stamp the rest.
+        assert gauge.series() == [(2.0, 4.0), (3.0, 7.0)]
+
+
+class TestHistogram:
+    def test_bucket_counts_sum_to_count(self):
+        reg = MetricRegistry()
+        hist = reg.histogram("repro_lat_seconds", "latency", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.1, 0.5, 3.0, 99.0):
+            hist.observe(value)
+        child = hist.labelled()
+        assert sum(child["counts"]) == child["count"] == 5
+        assert child["sum"] == pytest.approx(0.05 + 0.1 + 0.5 + 3.0 + 99.0)
+
+    def test_edge_value_lands_in_its_bucket_not_the_next(self):
+        reg = MetricRegistry()
+        hist = reg.histogram("repro_lat_seconds", "latency", buckets=(0.1, 1.0))
+        hist.observe(0.1)
+        assert hist.labelled()["counts"] == [1, 0, 0]
+
+    def test_overflow_goes_to_last_slot(self):
+        reg = MetricRegistry()
+        hist = reg.histogram("repro_lat_seconds", "latency", buckets=(0.1, 1.0))
+        hist.observe(5.0)
+        assert hist.labelled()["counts"] == [0, 0, 1]
+
+    def test_bucket_edges_validated(self):
+        reg = MetricRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("repro_a_seconds", "a", buckets=())
+        with pytest.raises(ValueError):
+            reg.histogram("repro_b_seconds", "b", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            reg.histogram("repro_c_seconds", "c", buckets=(1.0, float("inf")))
+
+    def test_default_buckets_are_fixed_and_increasing(self):
+        assert DEFAULT_BUCKETS == tuple(sorted(DEFAULT_BUCKETS))
+        assert len(DEFAULT_BUCKETS) == len(set(DEFAULT_BUCKETS))
+
+
+class TestRegistry:
+    def test_reregistration_identical_signature_returns_same_instrument(self):
+        reg = MetricRegistry()
+        first = reg.counter("repro_x_total", "x", ("a",))
+        second = reg.counter("repro_x_total", "x", ("a",))
+        assert first is second
+
+    def test_kind_conflict_raises(self):
+        reg = MetricRegistry()
+        reg.counter("repro_x_total", "x")
+        with pytest.raises(ValueError):
+            reg.gauge("repro_x_total", "x")
+
+    def test_label_conflict_raises(self):
+        reg = MetricRegistry()
+        reg.counter("repro_x_total", "x", ("a",))
+        with pytest.raises(ValueError):
+            reg.counter("repro_x_total", "x", ("b",))
+
+    def test_histogram_bucket_conflict_raises(self):
+        reg = MetricRegistry()
+        reg.histogram("repro_h_seconds", "h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            reg.histogram("repro_h_seconds", "h", buckets=(1.0, 3.0))
+
+    def test_invalid_names_rejected(self):
+        reg = MetricRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("bad name", "x")
+        with pytest.raises(ValueError):
+            reg.counter("repro_x_total", "x", ("bad label",))
+
+    def test_collect_is_name_sorted(self):
+        reg = MetricRegistry()
+        reg.counter("repro_z_total", "z")
+        reg.counter("repro_a_total", "a")
+        assert [m.name for m in reg.collect()] == ["repro_a_total", "repro_z_total"]
+
+    def test_contains_and_get(self):
+        reg = MetricRegistry()
+        counter = reg.counter("repro_x_total", "x")
+        assert "repro_x_total" in reg
+        assert reg.get("repro_x_total") is counter
+        with pytest.raises(KeyError):
+            reg.get("repro_missing_total")
+
+    def test_state_snapshot_shape(self):
+        times = iter([5.0, 6.0])
+        reg = MetricRegistry(clock=lambda: next(times))
+        counter = reg.counter("repro_x_total", "x", ("peer",))
+        counter.inc(2, peer="p1")
+        state = reg.state()
+        family = state["repro_x_total"]
+        assert family["kind"] == "counter"
+        assert family["labels"] == ["peer"]
+        assert family["children"] == [
+            {"labels": {"peer": "p1"}, "time": 6.0, "value": 2.0}
+        ]

@@ -1,0 +1,178 @@
+"""The tracer and the trace invariants ``validate_spans`` enforces.
+
+The span forest must hold four properties for any well-formed run:
+closed spans, end ≥ start, children inside their parents, and
+creation-order start monotonicity (modulo *backdated* spans, which
+carry a queued packet's arrival stamp). These tests exercise both the
+recorder and the validator, including each violation case.
+"""
+
+import pytest
+
+from repro.telemetry.spans import Span, Tracer, validate_spans
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestTracer:
+    def test_open_close_stamps_virtual_time(self):
+        clock = FakeClock(1.0)
+        tracer = Tracer(clock)
+        span = tracer.open("phase1", "phase")
+        clock.now = 4.0
+        tracer.close(span, transactions=9)
+        assert (span.start, span.end) == (1.0, 4.0)
+        assert span.duration == pytest.approx(3.0)
+        assert span.args["transactions"] == 9
+
+    def test_double_close_rejected(self):
+        tracer = Tracer()
+        span = tracer.open("x")
+        tracer.close(span)
+        with pytest.raises(ValueError):
+            tracer.close(span)
+
+    def test_context_stack_parents_synchronous_children(self):
+        tracer = Tracer(FakeClock())
+        outer = tracer.push(tracer.open("packet", "packet"))
+        inner = tracer.open("update", "message")
+        assert inner.parent_id == outer.span_id
+        tracer.pop(outer)
+        orphan = tracer.open("later")
+        assert orphan.parent_id is None
+
+    def test_pop_out_of_order_rejected(self):
+        tracer = Tracer()
+        first = tracer.push(tracer.open("a"))
+        tracer.push(tracer.open("b"))
+        with pytest.raises(ValueError):
+            tracer.pop(first)
+
+    def test_explicit_parent_overrides_context(self):
+        tracer = Tracer(FakeClock())
+        phase = tracer.open("phase1", "phase")
+        tracer.push(tracer.open("other"))
+        span = tracer.open("packet", "packet", parent=phase)
+        assert span.parent_id == phase.span_id
+
+    def test_instant_is_zero_width(self):
+        tracer = Tracer(FakeClock(2.5))
+        span = tracer.instant("decision", "decision", outcome="accepted")
+        assert span.start == span.end == 2.5
+        assert span.args["outcome"] == "accepted"
+
+    def test_backdated_open(self):
+        clock = FakeClock(5.0)
+        tracer = Tracer(clock)
+        span = tracer.open("packet", "packet", start=2.0)
+        assert span.start == 2.0
+        assert span.backdated
+        assert not tracer.open("fresh").backdated
+
+    def test_span_ids_allocated_in_creation_order(self):
+        tracer = Tracer()
+        ids = [tracer.open(f"s{i}").span_id for i in range(3)]
+        assert ids == [1, 2, 3]
+
+    def test_spans_filtered_by_category(self):
+        tracer = Tracer()
+        tracer.open("a", "phase")
+        tracer.open("b", "packet")
+        assert [s.name for s in tracer.spans("phase")] == ["a"]
+        assert len(tracer.spans()) == 2
+
+    def test_finish_closes_open_spans_at_clock(self):
+        clock = FakeClock(0.0)
+        tracer = Tracer(clock)
+        open_span = tracer.push(tracer.open("dangling"))
+        clock.now = 7.0
+        tracer.finish()
+        assert open_span.end == 7.0
+        assert tracer.open_spans() == []
+        assert tracer.current is None
+
+
+def closed(span_id, parent, name, start, end, backdated=False):
+    return Span(
+        span_id=span_id,
+        parent_id=parent,
+        name=name,
+        category="",
+        start=start,
+        end=end,
+        backdated=backdated,
+    )
+
+
+class TestValidateSpans:
+    def test_well_formed_forest_passes(self):
+        validate_spans(
+            [
+                closed(1, None, "phase1", 0.0, 10.0),
+                closed(2, 1, "packet", 1.0, 3.0),
+                closed(3, 2, "update", 1.0, 2.0),
+                closed(4, 1, "packet", 4.0, 6.0),
+            ]
+        )
+
+    def test_unclosed_span_rejected(self):
+        dangling = Span(span_id=1, parent_id=None, name="x", category="", start=0.0)
+        with pytest.raises(ValueError, match="never closed"):
+            validate_spans([dangling])
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError, match="ends before it starts"):
+            validate_spans([closed(1, None, "x", 5.0, 4.0)])
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ValueError, match="unknown or later parent"):
+            validate_spans([closed(1, 99, "x", 0.0, 1.0)])
+
+    def test_child_escaping_parent_rejected(self):
+        with pytest.raises(ValueError, match="escapes parent"):
+            validate_spans(
+                [
+                    closed(1, None, "phase", 0.0, 5.0),
+                    closed(2, 1, "packet", 4.0, 6.0),
+                ]
+            )
+
+    def test_time_regression_rejected(self):
+        with pytest.raises(ValueError, match="not time-monotone"):
+            validate_spans(
+                [
+                    closed(1, None, "a", 5.0, 6.0),
+                    closed(2, None, "b", 3.0, 4.0),
+                ]
+            )
+
+    def test_backdated_span_exempt_from_monotonicity(self):
+        # A queued packet's span is created at release but starts at
+        # arrival — earlier than spans recorded while it waited.
+        validate_spans(
+            [
+                closed(1, None, "phase", 0.0, 10.0),
+                closed(2, 1, "packet", 5.0, 6.0),
+                closed(3, 1, "packet", 2.0, 8.0, backdated=True),
+                closed(4, 1, "packet", 6.0, 9.0),
+            ]
+        )
+
+    def test_backdated_span_still_checked_for_other_invariants(self):
+        with pytest.raises(ValueError, match="ends before it starts"):
+            validate_spans([closed(1, None, "x", 5.0, 4.0, backdated=True)])
+
+    def test_roundtrip_through_jsonable(self):
+        tracer = Tracer(FakeClock(1.0))
+        span = tracer.open("packet", "packet", start=0.5, peer="p1")
+        tracer.close(span)
+        payload = span.to_jsonable()
+        assert payload["backdated"] is True
+        assert payload["args"] == {"peer": "p1"}
+        assert payload["start"] == 0.5
