@@ -10,6 +10,8 @@
     bgpbench repeatability --platform pentium3 --scenario 1 --seeds 1 2 3
     bgpbench stability --platform pentium3 --rate 1500
     bgpbench grid --workers 4 [--scenarios ...] [--telemetry]
+                  [--cell-timeout 300] [--retries 2] [--max-failures 5]
+                  [--strict] [--resume] [--chaos plan.json]
     bgpbench regress [--golden benchmarks/golden/grid-small.json] [--bless]
     bgpbench lint [paths ...] [--format json] [--select RPR001 ...]
     bgpbench check --sanitize [--platform pentium3] [--scenario 5]
@@ -17,7 +19,11 @@
 ``--output-dir`` writes the experiment's result as JSON next to the
 text rendering. ``grid`` runs the sharded experiment grid through the
 on-disk cell cache; ``regress`` re-runs a committed golden baseline's
-grid and exits non-zero on drift (see docs/GRID.md). ``lint`` runs the
+grid and exits non-zero on drift (see docs/GRID.md). The resilience
+flags (``--cell-timeout``/``--retries``/``--max-failures``/``--strict``)
+switch both to supervised execution: failing cells degrade to a failure
+manifest and exit status 3 instead of aborting the run, and ``--resume``
+finishes an interrupted run from its checkpoint journal. ``lint`` runs the
 determinism linter over the source tree and ``check --sanitize`` runs
 one scenario in checked mode (see docs/ANALYSIS.md); both exit
 non-zero on findings, so CI can gate on them. ``--trace``/``--metrics``
@@ -148,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None,
         help="write the merged {cell_id: result} mapping as JSON",
     )
+    grid.add_argument(
+        "--manifest", type=Path, default=None,
+        help="write the full run report (results, failure manifest, retry "
+             "accounting) as JSON",
+    )
 
     regress = sub.add_parser(
         "regress", help="diff a fresh grid run against a golden baseline"
@@ -229,6 +240,42 @@ def _add_pool_arguments(parser: argparse.ArgumentParser) -> None:
         "--telemetry-dir", type=Path, default=Path("telemetry"),
         help="directory for per-cell telemetry artifacts (with --telemetry)",
     )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock budget; a cell exceeding it is killed and "
+             "recorded as a timeout (enables supervised execution)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-run a failed/timed-out/crashed cell up to N times on a "
+             "deterministic backoff schedule (enables supervised execution)",
+    )
+    parser.add_argument(
+        "--max-failures", type=int, default=None, metavar="N",
+        help="quarantine all not-yet-started cells once N cells have "
+             "terminally failed (enables supervised execution)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="quarantine remaining cells on the first terminal failure "
+             "(equivalent to --max-failures 1)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay the checkpoint journal of an interrupted run and skip "
+             "already-completed cells",
+    )
+    parser.add_argument(
+        "--journal", type=Path, default=None, metavar="PATH",
+        help="checkpoint journal location (default: <cache-dir>/journal.jsonl; "
+             "written whenever supervision or --resume is active)",
+    )
+    parser.add_argument(
+        "--chaos", type=Path, default=None, metavar="PLAN",
+        help="inject worker faults from a JSON chaos plan "
+             "({cell_id: {kind: crash|hang|flaky, ...}}) — for testing the "
+             "resilience layer itself",
+    )
 
 
 def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
@@ -256,6 +303,11 @@ def _run_experiment(
         print(f"\n[written {path}]")
 
 
+#: Exit status for a run that completed but left terminal cell failures
+#: behind (``grid``) or could not produce every golden cell (``regress``).
+EXIT_PARTIAL_FAILURE = 3
+
+
 def _make_cache(args):
     from repro.grid import DEFAULT_CACHE_DIR, GridCache
 
@@ -268,7 +320,57 @@ def _telemetry_dir(args) -> "str | None":
     return str(args.telemetry_dir) if args.telemetry else None
 
 
+def _make_policy(args):
+    """An ExecutionPolicy when any resilience flag asks for supervision,
+    else None (the historical abort-on-first-error pool path)."""
+    from repro.grid import ExecutionPolicy
+
+    if (
+        args.cell_timeout is None
+        and args.retries == 0
+        and args.max_failures is None
+        and not args.strict
+        and args.chaos is None
+    ):
+        return None
+    return ExecutionPolicy(
+        cell_timeout=args.cell_timeout,
+        retries=args.retries,
+        max_failures=args.max_failures,
+        strict=args.strict,
+    )
+
+
+def _make_chaos(args):
+    from repro.grid import ChaosPlan
+
+    return None if args.chaos is None else ChaosPlan.from_file(args.chaos)
+
+
+def _make_journal(args, policy):
+    """Checkpoint journal: on for supervised runs and whenever --resume
+    or --journal asks for one."""
+    from repro.grid import DEFAULT_CACHE_DIR, DEFAULT_JOURNAL_NAME, RunJournal
+
+    if policy is None and not args.resume and args.journal is None:
+        return None
+    if args.journal is not None:
+        path = args.journal
+    else:
+        cache_dir = args.cache_dir if args.cache_dir is not None else DEFAULT_CACHE_DIR
+        path = Path(cache_dir) / DEFAULT_JOURNAL_NAME
+    return RunJournal(path)
+
+
+def _print_failures(report) -> None:
+    print(f"failures ({len(report.failures)}):")
+    for _cell_id, failure in sorted(report.failures.items()):
+        print(f"  {failure.outcome.upper():11s} {failure.describe()}")
+
+
 def _run_grid(args) -> int:
+    import json
+
     from repro.grid import enumerate_grid, run_grid
 
     cells = enumerate_grid(
@@ -277,6 +379,7 @@ def _run_grid(args) -> int:
         seeds=args.seeds,
         table_sizes=args.table_sizes,
     )
+    policy = _make_policy(args)
     report = run_grid(
         cells,
         workers=args.workers,
@@ -287,16 +390,28 @@ def _run_grid(args) -> int:
         ),
         sanitize=args.sanitize,
         telemetry_dir=_telemetry_dir(args),
+        policy=policy,
+        chaos=_make_chaos(args),
+        journal=_make_journal(args, policy),
+        resume=args.resume,
     )
     for cell_id, result in report.results.items():
         tps = result["transactions_per_second"]
         flag = "" if result["completed"] else "  (STALLED)"
         print(f"{cell_id:32s} {tps:10.1f} tps{flag}")
-    print(
-        f"{report.cells} cells, {report.executed} executed, "
-        f"{report.hits} cache hits ({100 * report.hit_rate:.0f}%), "
-        f"{args.workers} worker(s)"
+    resumed = f"{report.resumed} resumed, " if report.resumed else ""
+    retried = (
+        f"{report.retries} retries, {report.timeouts} timeouts, "
+        f"{report.worker_crashes} worker crashes, "
+        if policy is not None else ""
     )
+    print(
+        f"{report.cells} cells, {report.executed} executed, {resumed}"
+        f"{report.hits} cache hits ({100 * report.hit_rate:.0f}%), "
+        f"{retried}{args.workers} worker(s)"
+    )
+    if not report.ok:
+        _print_failures(report)
     if args.telemetry and report.executed:
         print(f"[telemetry artifacts for {report.executed} executed cell(s) "
               f"in {args.telemetry_dir}]")
@@ -304,7 +419,13 @@ def _run_grid(args) -> int:
         args.output.parent.mkdir(parents=True, exist_ok=True)
         args.output.write_text(report.to_json() + "\n")
         print(f"[written {args.output}]")
-    return 0
+    if args.manifest is not None:
+        args.manifest.parent.mkdir(parents=True, exist_ok=True)
+        args.manifest.write_text(
+            json.dumps(report.to_jsonable(), sort_keys=True, indent=2) + "\n"
+        )
+        print(f"[written {args.manifest}]")
+    return 0 if report.ok else EXIT_PARTIAL_FAILURE
 
 
 def _run_regress(args) -> int:
@@ -337,11 +458,22 @@ def _run_regress(args) -> int:
         seeds=grid_spec["seeds"],
         table_sizes=grid_spec["table_sizes"],
     )
+    policy = _make_policy(args)
     report = run_grid(
         cells, workers=args.workers, cache=_make_cache(args),
         refresh=args.refresh, sanitize=args.sanitize,
         telemetry_dir=_telemetry_dir(args),
+        policy=policy, chaos=_make_chaos(args),
+        journal=_make_journal(args, policy), resume=args.resume,
     )
+    if not report.ok:
+        # A partial run can neither be blessed nor meaningfully diffed:
+        # report what failed and exit with the partial-failure status so
+        # CI can tell "the numbers moved" (1) from "cells never ran" (3).
+        _print_failures(report)
+        if args.bless:
+            print("regress: refusing to bless a partial run", file=sys.stderr)
+        return EXIT_PARTIAL_FAILURE
     if args.bless:
         path = bless(args.golden, report.results, grid_spec, tolerance)
         print(f"blessed {len(report.results)} cells -> {path}")

@@ -21,16 +21,47 @@ from repro.grid.baseline import (
 )
 from repro.grid.cache import DEFAULT_CACHE_DIR, GridCache, source_fingerprint
 from repro.grid.cells import GridCell, enumerate_grid, result_json, run_cell
+from repro.grid.chaos import ChaosError, ChaosFault, ChaosPlan
 from repro.grid.executor import GridReport, run_grid
+from repro.grid.journal import DEFAULT_JOURNAL_NAME, RunJournal
+from repro.grid.outcomes import (
+    OUTCOME_CACHED,
+    OUTCOME_CRASHED,
+    OUTCOME_FAILED,
+    OUTCOME_OK,
+    OUTCOME_QUARANTINED,
+    OUTCOME_TIMEOUT,
+    OUTCOMES,
+    AttemptRecord,
+    CellFailure,
+    ExecutionPolicy,
+)
+from repro.grid.supervisor import Supervisor
 
 __all__ = [
+    "AttemptRecord",
+    "CellFailure",
+    "ChaosError",
+    "ChaosFault",
+    "ChaosPlan",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_JOURNAL_NAME",
     "DEFAULT_TOLERANCE",
+    "ExecutionPolicy",
     "GridCache",
     "GridCell",
     "GridReport",
     "MetricDrift",
+    "OUTCOMES",
+    "OUTCOME_CACHED",
+    "OUTCOME_CRASHED",
+    "OUTCOME_FAILED",
+    "OUTCOME_OK",
+    "OUTCOME_QUARANTINED",
+    "OUTCOME_TIMEOUT",
     "RegressionReport",
+    "RunJournal",
+    "Supervisor",
     "bless",
     "compare",
     "enumerate_grid",

@@ -159,6 +159,18 @@ def run_cell(
         )
         if sanitizer is not None:
             sanitizer.check_quiescent()
+    except Exception as error:
+        # Per-cell diagnostics: a StallError/SanitizerError escaping a
+        # grid worker names the cell it came from, so a supervisor (or
+        # a human reading a traceback) need not reverse-engineer which
+        # of a thousand cells hung.
+        from repro.analysis.sanitizer import SanitizerError
+        from repro.benchmark.harness import StallError
+
+        if isinstance(error, (StallError, SanitizerError)):
+            error.cell_id = cell.cell_id
+            error.args = (f"[cell {cell.cell_id}] {error.args[0]}",) + error.args[1:]
+        raise
     finally:
         # Detach in reverse attach order so the sanitizer gets its
         # exclusive observer slot back before releasing it.

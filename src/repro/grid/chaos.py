@@ -1,0 +1,134 @@
+"""Deterministic chaos injection for the grid supervisor.
+
+The resilience layer is only trustworthy if its failure paths are
+exercised on every CI run, so worker faults are injectable: a
+:class:`ChaosPlan` maps cell ids to :class:`ChaosFault` specs and rides
+into the worker with the cell. Three fault kinds cover the taxonomy:
+
+* ``crash`` — the worker hard-exits (``os._exit``) without reporting,
+  modelling a segfault or OOM kill (outcome ``crashed``);
+* ``hang`` — the worker sleeps past any per-cell timeout, modelling a
+  livelock the watchdog cannot see (outcome ``timeout``);
+* ``flaky`` — the worker raises :class:`ChaosError`, modelling a
+  transient failure (outcome ``failed``).
+
+Every fault takes ``times``: the number of leading attempts it affects
+(``None`` = every attempt). ``flaky`` with ``times=N`` is the
+fail-N-times-then-succeed cell the retry tests pivot on. Faults are a
+pure function of ``(cell_id, attempt)`` — no ambient randomness — so a
+chaos run is as reproducible as a healthy one.
+
+Plans serialise to plain JSON (``{"<cell_id>": {"kind": ...}}``) for
+the ``bgpbench grid --chaos plan.json`` smoke test CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+#: Exit status a ``crash`` fault dies with (visible in diagnostics).
+CRASH_EXIT_CODE = 13
+
+FAULT_KINDS = ("crash", "hang", "flaky")
+
+
+class ChaosError(RuntimeError):
+    """The injected transient failure a ``flaky`` fault raises."""
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosFault:
+    """One cell's injected misbehaviour."""
+
+    kind: str
+    #: Attempts (0-based, leading) the fault applies to; None = all.
+    times: "int | None" = None
+    exit_code: int = CRASH_EXIT_CODE
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown chaos kind {self.kind!r}; valid: {FAULT_KINDS}")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 (or None for always): {self.times}")
+        if self.hang_seconds <= 0:
+            raise ValueError(f"hang_seconds must be positive: {self.hang_seconds}")
+
+    def applies(self, attempt: int) -> bool:
+        return self.times is None or attempt < self.times
+
+    def to_jsonable(self) -> "dict[str, object]":
+        return {
+            "kind": self.kind,
+            "times": self.times,
+            "exit_code": self.exit_code,
+            "hang_seconds": self.hang_seconds,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, object]) -> "ChaosFault":
+        unknown = set(spec) - {"kind", "times", "exit_code", "hang_seconds"}
+        if unknown:
+            raise ValueError(f"unknown chaos fault keys: {sorted(unknown)}")
+        return cls(
+            kind=str(spec["kind"]),
+            times=None if spec.get("times") is None else int(spec["times"]),  # type: ignore[arg-type]
+            exit_code=int(spec.get("exit_code", CRASH_EXIT_CODE)),  # type: ignore[arg-type]
+            hang_seconds=float(spec.get("hang_seconds", 3600.0)),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosPlan:
+    """Cell-id → fault mapping; pickles into workers, loads from JSON."""
+
+    faults: "dict[str, ChaosFault]"
+
+    def get(self, cell_id: str) -> "ChaosFault | None":
+        return self.faults.get(cell_id)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def to_jsonable(self) -> "dict[str, object]":
+        return {
+            cell_id: fault.to_jsonable()
+            for cell_id, fault in sorted(self.faults.items())
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Mapping[str, object]]) -> "ChaosPlan":
+        return cls({
+            str(cell_id): ChaosFault.from_spec(fault_spec)
+            for cell_id, fault_spec in spec.items()
+        })
+
+    @classmethod
+    def from_file(cls, path: "Path | str") -> "ChaosPlan":
+        return cls.from_spec(json.loads(Path(path).read_text()))
+
+
+def apply_chaos(fault: "ChaosFault | None", attempt: int) -> None:
+    """Inject *fault* into the current worker process, if it applies.
+
+    Called at the top of the supervised worker entry point, before the
+    cell executes — a fault either prevents the result entirely (crash,
+    hang) or raises before any simulation state exists (flaky), so a
+    surviving attempt is indistinguishable from an uninjected one.
+    """
+    if fault is None or not fault.applies(attempt):
+        return
+    if fault.kind == "crash":
+        os._exit(fault.exit_code)
+    if fault.kind == "hang":
+        time.sleep(fault.hang_seconds)
+        return
+    raise ChaosError(
+        f"injected flaky fault (attempt {attempt}"
+        f"{'' if fault.times is None else f' of {fault.times} failing'})"
+    )

@@ -1,12 +1,29 @@
-"""Shard the experiment grid across worker processes.
+"""Shard the experiment grid across worker processes, fault-tolerantly.
 
 ``run_grid`` takes an enumerated list of :class:`GridCell` specs, skips
-every cell the cache already holds, and fans the rest out over a
-:class:`concurrent.futures.ProcessPoolExecutor`. Workers receive the
-cell spec only — they rebuild the router and re-seed the workload from
-it (:func:`repro.grid.cells.run_cell`), so a pooled run is bit-identical
+every cell the checkpoint journal (``--resume``) or the cache already
+holds, and fans the rest out. Workers receive the cell spec only — they
+rebuild the router and re-seed the workload from it
+(:func:`repro.grid.cells.run_cell`), so a pooled run is bit-identical
 to a serial one and the merge order is the enumeration order, never the
 completion order.
+
+Two execution paths share that contract:
+
+* the **pool** path (default): a context-managed
+  :class:`~concurrent.futures.ProcessPoolExecutor` whose queued work is
+  cancelled the moment a cell raises — a failing cell aborts the run
+  (legacy semantics) but no longer strands queued futures;
+* the **supervised** path (any :class:`ExecutionPolicy` or chaos plan):
+  one process per attempt under :class:`~repro.grid.supervisor.
+  Supervisor`, with per-cell timeouts, deterministic retry, and
+  graceful degradation — the run completes every healthy cell and
+  carries the rest as structured :class:`CellFailure` records in
+  ``GridReport.failures`` instead of aborting.
+
+A fault-free supervised run produces byte-identical results to the
+pool path (same ``run_cell``, same merge order), which is why the
+golden regression gate passes unchanged under either.
 """
 
 from __future__ import annotations
@@ -14,27 +31,64 @@ from __future__ import annotations
 # repro: boundary — grid reports cross the grid process boundary.
 
 import functools
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.grid.cache import GridCache
 from repro.grid.cells import GridCell, result_json, run_cell
+from repro.grid.chaos import ChaosPlan
+from repro.grid.journal import RunJournal
+from repro.grid.outcomes import (
+    OUTCOME_CACHED,
+    OUTCOME_CRASHED,
+    OUTCOME_FAILED,
+    OUTCOME_OK,
+    OUTCOME_QUARANTINED,
+    OUTCOME_TIMEOUT,
+    OUTCOMES,
+    CellFailure,
+    ExecutionPolicy,
+)
+from repro.grid.supervisor import Supervisor
 
 
 @dataclass(slots=True)
 class GridReport:
-    """Outcome of one grid run: results in enumeration order plus
-    cache accounting."""
+    """Outcome of one grid run: results in enumeration order, the
+    failure manifest, and cache/retry accounting.
+
+    ``workers`` is clamped to the worker count actually used: at most
+    one per executed cell, and 0 when every cell was served from the
+    journal or the cache.
+    """
 
     workers: int
     results: dict[str, dict] = field(default_factory=dict)
     hits: int = 0
     executed: int = 0
+    #: Cells resumed from the checkpoint journal (no execution).
+    resumed: int = 0
+    #: Terminal failures, keyed by cell id (empty on a healthy run).
+    failures: "dict[str, CellFailure]" = field(default_factory=dict)
+    #: Attempt histories of cells that needed >= 1 retry to succeed.
+    recovered: "dict[str, list[dict]]" = field(default_factory=dict)
+    retries: int = 0
+    timeouts: int = 0
+    worker_crashes: int = 0
+    #: Cells executed but not cached (cache write failed), cell id ->
+    #: error text. Degraded, not fatal: the results are still merged.
+    uncached: dict[str, str] = field(default_factory=dict)
 
     @property
     def cells(self) -> int:
-        return len(self.results)
+        return len(self.results) + len(self.failures)
+
+    @property
+    def ok(self) -> bool:
+        """True when every cell reached a result."""
+        return not self.failures
 
     @property
     def hit_rate(self) -> float:
@@ -44,12 +98,28 @@ class GridReport:
         """Canonical JSON of the ``{cell_id: result}`` mapping."""
         return result_json(self.results)
 
+    def failure_manifest(self) -> "dict[str, dict]":
+        """JSON-ready ``{cell_id: failure}`` mapping in sorted cell-id
+        order (completion order is timing-dependent; the manifest must
+        not be)."""
+        return {
+            cell_id: failure.to_jsonable()
+            for cell_id, failure in sorted(self.failures.items())
+        }
+
     def to_jsonable(self) -> "dict[str, object]":
         return {
             "workers": self.workers,
             "hits": self.hits,
             "executed": self.executed,
+            "resumed": self.resumed,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_crashes": self.worker_crashes,
             "results": self.results,
+            "failures": self.failure_manifest(),
+            "recovered": self.recovered,
+            "uncached": self.uncached,
         }
 
 
@@ -60,6 +130,71 @@ def _execute_cell(
     return cell.cell_id, run_cell(cell, sanitize=sanitize, telemetry_dir=telemetry_dir)
 
 
+def _safe_progress(
+    progress: "Callable[[str, bool], None] | None",
+) -> "Callable[[str, bool], None]":
+    """Wrap *progress* so a callback exception cannot kill the run."""
+    if progress is None:
+        return lambda cell_id, cached: None
+
+    def wrapped(cell_id: str, cached: bool) -> None:
+        try:
+            progress(cell_id, cached)
+        except Exception as error:  # degraded: reporting must not abort work
+            warnings.warn(
+                f"progress callback failed for {cell_id}: "
+                f"{type(error).__name__}: {error}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    return wrapped
+
+
+def _cache_put(
+    cache: "GridCache | None", cell: GridCell, result: dict, report: GridReport
+) -> None:
+    """Store *result*, degrading an unwritable cache to a warning."""
+    if cache is None:
+        return
+    try:
+        cache.put(cell, result)
+    except OSError as error:
+        report.uncached[cell.cell_id] = f"{type(error).__name__}: {error}"
+        warnings.warn(
+            f"cell {cell.cell_id} executed but not cached ({error})",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+
+def _publish_metrics(registry, report: GridReport) -> None:
+    """Publish the run's resilience counters into a
+    :class:`repro.telemetry.MetricRegistry` (zero-valued counters are
+    published too, so the export shape is run-independent)."""
+    if registry is None:
+        return
+    registry.counter(
+        "grid_retries", "cell attempts re-run after a failed attempt"
+    ).inc(report.retries)
+    registry.counter(
+        "grid_timeouts", "cell attempts killed at the per-cell wall-clock timeout"
+    ).inc(report.timeouts)
+    registry.counter(
+        "grid_worker_crashes", "grid workers that died without reporting a result"
+    ).inc(report.worker_crashes)
+    outcomes = registry.counter(
+        "grid_cells", "terminal cell outcomes", labels=("outcome",)
+    )
+    counts = {outcome: 0 for outcome in OUTCOMES}
+    counts[OUTCOME_OK] = report.executed
+    counts[OUTCOME_CACHED] = report.hits + report.resumed
+    for failure in report.failures.values():
+        counts[failure.outcome] += 1
+    for outcome in OUTCOMES:
+        outcomes.inc(counts[outcome], outcome=outcome)
+
+
 def run_grid(
     cells: Sequence[GridCell],
     workers: int = 1,
@@ -68,57 +203,152 @@ def run_grid(
     progress: "Callable[[str, bool], None] | None" = None,
     sanitize: bool = False,
     telemetry_dir: "str | None" = None,
+    policy: "ExecutionPolicy | None" = None,
+    chaos: "ChaosPlan | None" = None,
+    journal: "RunJournal | None" = None,
+    resume: bool = False,
+    registry=None,
 ) -> GridReport:
     """Run every cell, through the cache when one is given.
 
     *refresh* re-executes even cached cells (and overwrites their
     entries). *progress*, if given, is called as ``progress(cell_id,
-    from_cache)`` once per cell in completion order. *sanitize* runs
-    every executed cell in checked mode (observe-only, so cached and
-    sanitized results stay interchangeable); an invariant violation
-    propagates as :class:`repro.analysis.sanitizer.SanitizerError`.
-    *telemetry_dir* instruments every executed cell and drops per-cell
-    trace/metrics artifacts there (cache hits skip execution, so no
-    artifacts are produced for them — use *refresh* to force a full
-    instrumented sweep). Telemetry is observe-only too: results are
-    byte-identical with or without it.
+    from_cache)`` once per cell in completion order; a raising callback
+    is degraded to a warning. *sanitize* runs every executed cell in
+    checked mode and *telemetry_dir* drops per-cell trace/metrics
+    artifacts — both observe-only, results are byte-identical.
+
+    *policy* (or a *chaos* plan) switches to supervised execution: one
+    process per attempt, per-cell timeouts, deterministic retry, and
+    structured :class:`CellFailure` records in ``report.failures``
+    instead of run-aborting exceptions (see
+    :mod:`repro.grid.supervisor`). *journal* checkpoints every terminal
+    outcome; with *resume* the journal is replayed first and completed
+    cells are skipped. *registry* publishes the
+    ``grid_retries / grid_timeouts / grid_worker_crashes / grid_cells``
+    counters of the run.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1: {workers}")
-    report = GridReport(workers=workers)
+    progress = _safe_progress(progress)
+    report = GridReport(workers=0)
     merged: dict[str, dict] = {}
+
+    completed = {}
+    if journal is not None:
+        if resume:
+            completed = journal.completed()
+        else:
+            journal.reset()
 
     pending: list[GridCell] = []
     for cell in cells:
+        record = completed.get(cell.cell_id)
+        if record is not None and record.spec == cell.spec():
+            merged[cell.cell_id] = record.result
+            report.resumed += 1
+            progress(cell.cell_id, True)
+            continue
         cached = None if (cache is None or refresh) else cache.get(cell)
         if cached is not None:
             merged[cell.cell_id] = cached
             report.hits += 1
-            if progress is not None:
-                progress(cell.cell_id, True)
+            if journal is not None:
+                journal.record(cell, OUTCOME_CACHED, cached)
+            progress(cell.cell_id, True)
         else:
             pending.append(cell)
 
-    execute = functools.partial(
-        _execute_cell, sanitize=sanitize, telemetry_dir=telemetry_dir
-    )
-    if workers <= 1 or len(pending) <= 1:
-        computed = map(execute, pending)
-    else:
-        pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
-        computed = pool.map(execute, pending)
-    try:
-        for cell, (cell_id, result) in zip(pending, computed):
-            merged[cell_id] = result
-            report.executed += 1
-            if cache is not None:
-                cache.put(cell, result)
-            if progress is not None:
-                progress(cell_id, False)
-    finally:
-        if workers > 1 and len(pending) > 1:
-            pool.shutdown()
+    report.workers = min(workers, len(pending))
+
+    def complete(cell: GridCell, result: dict) -> None:
+        merged[cell.cell_id] = result
+        report.executed += 1
+        _cache_put(cache, cell, result, report)
+        if journal is not None:
+            journal.record(cell, OUTCOME_OK, result)
+        progress(cell.cell_id, False)
+
+    if policy is not None or chaos is not None:
+        _run_supervised(
+            pending,
+            policy if policy is not None else ExecutionPolicy(),
+            chaos,
+            report,
+            complete,
+            journal,
+            progress,
+            sanitize=sanitize,
+            telemetry_dir=telemetry_dir,
+        )
+    elif pending:
+        execute = functools.partial(
+            _execute_cell, sanitize=sanitize, telemetry_dir=telemetry_dir
+        )
+        if report.workers <= 1:
+            for cell in pending:
+                complete(cell, execute(cell)[1])
+        else:
+            with ProcessPoolExecutor(max_workers=report.workers) as pool:
+                try:
+                    for cell, (_cell_id, result) in zip(
+                        pending, pool.map(execute, pending)
+                    ):
+                        complete(cell, result)
+                except BaseException:
+                    # Don't strand queued cells behind a failing one.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
 
     # Enumeration order, not completion order.
-    report.results = {cell.cell_id: merged[cell.cell_id] for cell in cells}
+    report.results = {
+        cell.cell_id: merged[cell.cell_id] for cell in cells if cell.cell_id in merged
+    }
+    _publish_metrics(registry, report)
     return report
+
+
+def _run_supervised(
+    pending: "list[GridCell]",
+    policy: ExecutionPolicy,
+    chaos: "ChaosPlan | None",
+    report: GridReport,
+    complete: "Callable[[GridCell, dict], None]",
+    journal: "RunJournal | None",
+    progress: "Callable[[str, bool], None]",
+    sanitize: bool,
+    telemetry_dir: "str | None",
+) -> None:
+    """Drive *pending* through the supervisor, folding outcomes into
+    *report* (results via *complete*, failures into the manifest)."""
+    if not pending:
+        return
+    supervisor = Supervisor(
+        policy,
+        workers=max(1, report.workers),
+        sanitize=sanitize,
+        telemetry_dir=telemetry_dir,
+        chaos=chaos,
+    )
+
+    def on_success(cell: GridCell, result: dict, records) -> None:
+        if len(records) > 1:
+            report.recovered[cell.cell_id] = [
+                record.to_jsonable() for record in records
+            ]
+        complete(cell, result)
+
+    def on_failure(cell: GridCell, failure: CellFailure) -> None:
+        report.failures[cell.cell_id] = failure
+        if journal is not None:
+            journal.record(
+                cell, failure.outcome, None, detail=failure.to_jsonable()
+            )
+        progress(cell.cell_id, False)
+
+    _results, _failures, stats = supervisor.run(
+        pending, on_success=on_success, on_failure=on_failure
+    )
+    report.retries = stats.retries
+    report.timeouts = stats.timeouts
+    report.worker_crashes = stats.worker_crashes

@@ -1,0 +1,289 @@
+"""Per-cell process supervision: timeouts, kill-and-respawn, retry.
+
+A :class:`Supervisor` runs each grid-cell attempt in its **own**
+process (not a shared pool): a worker that segfaults, is OOM-killed, or
+hangs takes down exactly one attempt. The supervisor watches every
+in-flight attempt over a one-way pipe and
+
+* on a result message, records ``ok``;
+* on an error message, records ``failed`` (the worker survived to
+  report — :class:`StallError`, :class:`SanitizerError`, chaos);
+* on end-of-pipe without a message, records ``crashed`` (the process
+  died reporting nothing);
+* on a blown wall-clock deadline, **kills** the worker (SIGKILL) and
+  records ``timeout`` — a respawned process then serves the retry, so
+  one hung cell can never wedge the run.
+
+Failed attempts re-queue on the deterministic
+:meth:`~repro.grid.outcomes.ExecutionPolicy.retry_delay` schedule;
+while a retry cools down, other cells keep the worker slots busy. When
+the run's failure budget is exhausted, not-yet-launched cells are
+``quarantined`` instead of burning time on a run that is already lost.
+
+The supervisor reads the *wall* clock — it polices real processes and
+never touches simulation state, so results stay a pure function of the
+cell spec. Cell execution itself still happens in
+:func:`repro.grid.cells.run_cell`, byte-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait_connections
+from typing import Callable, Sequence
+
+from repro.grid.cells import GridCell, run_cell
+from repro.grid.chaos import ChaosPlan, apply_chaos
+from repro.grid.outcomes import (
+    OUTCOME_CRASHED,
+    OUTCOME_FAILED,
+    OUTCOME_OK,
+    OUTCOME_QUARANTINED,
+    OUTCOME_TIMEOUT,
+    AttemptRecord,
+    CellFailure,
+    ExecutionPolicy,
+)
+
+#: Upper bound on one poll of the supervision loop (seconds).
+_POLL_SECONDS = 0.05
+
+#: Grace period for joining a worker that already reported (seconds).
+_JOIN_GRACE = 2.0
+
+
+def _now() -> float:
+    """Wall-clock read for supervising real worker processes. This is
+    deliberate ambient state: timeouts and retry pacing are operational
+    concerns that never feed back into cell results."""
+    return time.monotonic()  # repro: noqa[RPR001] — process supervision needs the wall clock
+
+
+def _attempt_main(
+    conn,
+    cell: GridCell,
+    attempt: int,
+    sanitize: bool,
+    telemetry_dir: "str | None",
+    fault,
+) -> None:
+    """Worker entry point — top-level so it pickles under spawn too."""
+    try:
+        apply_chaos(fault, attempt)
+        result = run_cell(cell, sanitize=sanitize, telemetry_dir=telemetry_dir)
+        conn.send(("ok", result))
+    except BaseException as error:  # noqa: BLE001 — report, never escape
+        try:
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+        except OSError:
+            pass  # parent already gone; nothing left to report to
+    finally:
+        conn.close()
+
+
+@dataclass(slots=True)
+class SupervisorStats:
+    """Counters the run publishes into the grid metrics."""
+
+    retries: int = 0
+    timeouts: int = 0
+    worker_crashes: int = 0
+
+
+@dataclass(slots=True)
+class _Task:
+    """One cell waiting to (re)run."""
+
+    cell: GridCell
+    attempt: int
+    ready_at: float
+    seq: int
+    records: "list[AttemptRecord]" = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class _Running:
+    """One in-flight attempt under supervision."""
+
+    task: _Task
+    process: multiprocessing.Process
+    conn: object
+    deadline: "float | None"
+
+
+class Supervisor:
+    """Drive a set of cells to terminal outcomes under a policy."""
+
+    def __init__(
+        self,
+        policy: ExecutionPolicy,
+        workers: int = 1,
+        sanitize: bool = False,
+        telemetry_dir: "str | None" = None,
+        chaos: "ChaosPlan | None" = None,
+    ):
+        self.policy = policy
+        self.workers = max(1, workers)
+        self.sanitize = sanitize
+        self.telemetry_dir = telemetry_dir
+        self.chaos = chaos
+        self._ctx = multiprocessing.get_context()
+
+    # -- lifecycle of one attempt ------------------------------------------
+
+    def _launch(self, task: _Task, now: float) -> _Running:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        fault = self.chaos.get(task.cell.cell_id) if self.chaos else None
+        process = self._ctx.Process(
+            target=_attempt_main,
+            args=(child_conn, task.cell, task.attempt, self.sanitize,
+                  self.telemetry_dir, fault),
+            name=f"grid-{task.cell.cell_id}-a{task.attempt}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # EOF on the parent end now means worker death
+        deadline = (
+            None if self.policy.cell_timeout is None
+            else now + self.policy.cell_timeout
+        )
+        return _Running(task, process, parent_conn, deadline)
+
+    @staticmethod
+    def _reap(process: multiprocessing.Process) -> int | None:
+        process.join(_JOIN_GRACE)
+        if process.is_alive():
+            process.kill()
+            process.join(_JOIN_GRACE)
+        exitcode = process.exitcode
+        process.close()
+        return exitcode
+
+    # -- the supervision loop ----------------------------------------------
+
+    def run(
+        self,
+        cells: Sequence[GridCell],
+        on_success: "Callable[[GridCell, dict, list[AttemptRecord]], None] | None" = None,
+        on_failure: "Callable[[GridCell, CellFailure], None] | None" = None,
+    ) -> "tuple[dict[str, dict], dict[str, CellFailure], SupervisorStats]":
+        """Run every cell; return (results, failures, stats).
+
+        *results* holds successful cells only; *failures* the terminal
+        :class:`CellFailure` records. The two partitions cover the
+        input exactly. Callbacks fire once per cell at its terminal
+        outcome, in completion order.
+        """
+        results: dict[str, dict] = {}
+        failures: dict[str, CellFailure] = {}
+        stats = SupervisorStats()
+        queue: list[_Task] = [
+            _Task(cell, attempt=0, ready_at=0.0, seq=seq)
+            for seq, cell in enumerate(cells)
+        ]
+        running: list[_Running] = []
+        budget = self.policy.failure_budget
+
+        def settle_failure(task: _Task, outcome: str, error: str, now: float) -> None:
+            record = AttemptRecord(task.attempt, outcome, error)
+            task.records.append(record)
+            if task.attempt < self.policy.retries:
+                delay = self.policy.retry_delay(task.attempt)
+                record.retry_delay = delay
+                stats.retries += 1
+                queue.append(_Task(
+                    task.cell, task.attempt + 1, now + delay, task.seq, task.records
+                ))
+                return
+            failure = CellFailure(task.cell.cell_id, outcome, task.records)
+            failures[task.cell.cell_id] = failure
+            if on_failure is not None:
+                on_failure(task.cell, failure)
+
+        while queue or running:
+            now = _now()
+
+            # Quarantine before launching anything new: once the budget
+            # is gone the run is already red, stop burning time on it.
+            if budget is not None and len(failures) >= budget and queue:
+                for task in sorted(queue, key=lambda t: t.seq):
+                    failure = CellFailure(
+                        task.cell.cell_id, OUTCOME_QUARANTINED, task.records
+                    )
+                    failures[task.cell.cell_id] = failure
+                    if on_failure is not None:
+                        on_failure(task.cell, failure)
+                queue = []
+                if not running:
+                    break
+
+            due = sorted(
+                (task for task in queue if task.ready_at <= now),
+                key=lambda task: (task.ready_at, task.seq),
+            )
+            for task in due:
+                if len(running) >= self.workers:
+                    break
+                queue.remove(task)
+                running.append(self._launch(task, now))
+
+            if not running:
+                if not queue:
+                    break
+                next_ready = min(task.ready_at for task in queue)
+                time.sleep(min(max(next_ready - now, 0.0), _POLL_SECONDS))
+                continue
+
+            timeout = _POLL_SECONDS
+            for entry in running:
+                if entry.deadline is not None:
+                    timeout = min(timeout, max(entry.deadline - now, 0.0))
+            for task in queue:
+                timeout = min(timeout, max(task.ready_at - now, 0.0))
+            ready = _wait_connections([entry.conn for entry in running], timeout)
+            now = _now()
+
+            for entry in list(running):
+                if entry.conn in ready:
+                    running.remove(entry)
+                    try:
+                        message = entry.conn.recv()
+                    except (EOFError, OSError):
+                        message = None
+                    entry.conn.close()
+                    if message is not None and message[0] == "ok":
+                        task = entry.task
+                        task.records.append(AttemptRecord(task.attempt, OUTCOME_OK))
+                        results[task.cell.cell_id] = message[1]
+                        self._reap(entry.process)
+                        if on_success is not None:
+                            on_success(task.cell, message[1], task.records)
+                    elif message is not None:
+                        self._reap(entry.process)
+                        settle_failure(entry.task, OUTCOME_FAILED, message[1], now)
+                    else:
+                        exitcode = self._reap(entry.process)
+                        stats.worker_crashes += 1
+                        settle_failure(
+                            entry.task,
+                            OUTCOME_CRASHED,
+                            f"worker died without reporting (exit code {exitcode})",
+                            now,
+                        )
+                elif entry.deadline is not None and now >= entry.deadline:
+                    running.remove(entry)
+                    entry.process.kill()
+                    self._reap(entry.process)
+                    entry.conn.close()
+                    stats.timeouts += 1
+                    settle_failure(
+                        entry.task,
+                        OUTCOME_TIMEOUT,
+                        f"exceeded cell timeout ({self.policy.cell_timeout:g}s "
+                        f"wall clock); worker killed",
+                        now,
+                    )
+
+        return results, failures, stats

@@ -85,4 +85,16 @@ class TestGridResults:
     def test_empty_grid_report_roundtrips(self):
         payload = GridReport(workers=3).to_jsonable()
         assert roundtrips(payload)
-        assert payload == {"workers": 3, "hits": 0, "executed": 0, "results": {}}
+        assert payload == {
+            "workers": 3,
+            "hits": 0,
+            "executed": 0,
+            "resumed": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "worker_crashes": 0,
+            "results": {},
+            "failures": {},
+            "recovered": {},
+            "uncached": {},
+        }

@@ -204,6 +204,59 @@ class TestRegressCli:
         capsys.readouterr()
 
 
+class TestRegressPartialFailure:
+    """Exit-code semantics: 0 clean / 1 drift / 2 missing golden / 3
+    partial failure (cells never produced a result)."""
+
+    GRID_ARGS = ["--workers", "1", "--no-cache"]
+
+    def bless_tiny_golden(self, tmp_path, capsys):
+        golden = tmp_path / "golden.json"
+        bless(golden, {}, grid={"scenarios": [1], "platforms": ["pentium3"],
+                                "seeds": [7], "table_sizes": [100]})
+        assert main(["regress", "--golden", str(golden), "--bless",
+                     *self.GRID_ARGS]) == 0
+        capsys.readouterr()
+        return golden
+
+    def chaos_plan(self, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"s1-pentium3-seed7-n100": {"kind": "crash"}}))
+        return str(plan)
+
+    def test_partial_run_exits_3_not_1(self, tmp_path, capsys):
+        golden = self.bless_tiny_golden(tmp_path, capsys)
+        code = main(["regress", "--golden", str(golden),
+                     "--chaos", self.chaos_plan(tmp_path),
+                     "--journal", str(tmp_path / "journal.jsonl"),
+                     *self.GRID_ARGS])
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "CRASHED" in out
+
+    def test_bless_refuses_partial_run(self, tmp_path, capsys):
+        golden = self.bless_tiny_golden(tmp_path, capsys)
+        before = golden.read_text()
+        code = main(["regress", "--golden", str(golden), "--bless",
+                     "--chaos", self.chaos_plan(tmp_path),
+                     "--journal", str(tmp_path / "journal.jsonl"),
+                     *self.GRID_ARGS])
+        err = capsys.readouterr().err
+        assert code == 3
+        assert "refusing to bless" in err
+        assert golden.read_text() == before
+
+    def test_resilience_flags_do_not_change_a_clean_verdict(self, tmp_path, capsys):
+        golden = self.bless_tiny_golden(tmp_path, capsys)
+        code = main(["regress", "--golden", str(golden),
+                     "--retries", "2", "--cell-timeout", "120",
+                     "--journal", str(tmp_path / "journal.jsonl"),
+                     *self.GRID_ARGS])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+
+
 class TestGridCli:
     def test_grid_writes_output_and_reports_cache(self, tmp_path, capsys):
         args = ["grid", "--scenarios", "1", "--platforms", "pentium3",
