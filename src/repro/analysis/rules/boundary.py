@@ -26,6 +26,7 @@ BOUNDARY_MODULE_SUFFIXES = (
     "repro/benchmark/harness.py",
     "repro/grid/cells.py",
     "repro/grid/executor.py",
+    "repro/topo/families.py",
 )
 
 #: Opt-in marker for other modules whose dataclasses cross the boundary.

@@ -56,15 +56,18 @@ def connect_routers(
 
     The upstream speaker's send callback for *upstream_peer* is replaced
     so every emitted packet is delivered into *downstream*'s costed
-    receive path after *link_delay* virtual seconds.
+    receive path after *link_delay* virtual seconds. Delegates to the
+    graph-general helper in :mod:`repro.topo.wiring` (lazy import to
+    keep the import-time dependency one-way).
     """
-    if upstream.world is not downstream.world:
-        raise ValueError("chained routers must share a world")
+    from repro.topo.wiring import wire_oneway
 
-    def forward(data: bytes) -> None:
-        downstream.deliver(downstream_peer, data, delay=link_delay)
-
-    upstream.speaker.set_send_callback(upstream_peer, forward)
+    try:
+        wire_oneway(
+            upstream, upstream_peer, downstream, downstream_peer, link_delay
+        )
+    except ValueError:
+        raise ValueError("chained routers must share a world") from None
 
 
 @dataclass(slots=True)

@@ -81,13 +81,24 @@ class MraiLimiter:
         self.passed += 1
         return (prefix, attributes)
 
+    def _due_at(self, prefix: Prefix) -> float:
+        """When the withheld change for *prefix* becomes sendable.
+
+        Shared by :meth:`release_due` and :meth:`next_release_time` so
+        both sides of the gate agree bit-for-bit: an event scheduled at
+        ``next_release_time()`` is guaranteed to release (the two used
+        to compare ``now - last >= interval`` vs ``last + interval``,
+        which disagree in floating point and could re-arm a release
+        event at its own fire time forever).
+        """
+        return self._last_sent.get(prefix, -self.interval) + self.interval
+
     def release_due(self, now: float) -> list[tuple[Prefix, PathAttributes | None]]:
         """Release every withheld change whose interval has expired, in
         prefix order (deterministic)."""
         released = []
         for prefix in sorted(self._pending):
-            last = self._last_sent.get(prefix, -self.interval)
-            if now - last >= self.interval:
+            if now >= self._due_at(prefix):
                 change = self._pending.pop(prefix)
                 self._last_sent[prefix] = now
                 self.passed += 1
@@ -98,7 +109,4 @@ class MraiLimiter:
         """Earliest time at which a withheld change becomes sendable."""
         if not self._pending:
             return None
-        return min(
-            self._last_sent.get(prefix, 0.0) + self.interval
-            for prefix in self._pending
-        )
+        return min(self._due_at(prefix) for prefix in self._pending)

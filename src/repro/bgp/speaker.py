@@ -170,6 +170,14 @@ class SpeakerConfig:
     local_address: IPv4Address
     hold_time: float = 90.0
     compare_med_always: bool = False
+    #: When the best route switches to one learned from a peer that
+    #: previously received our advertisement, stage an explicit withdraw
+    #: toward that peer (and toward iBGP peers skipped by split horizon)
+    #: instead of leaving the stale advertisement dangling. Required for
+    #: multi-router topologies to quiesce to zero routes after an origin
+    #: withdraw; off by default because the two-speaker benchmark is
+    #: calibrated against the paper without this extra update traffic.
+    split_horizon_withdraw: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -414,13 +422,21 @@ class BgpSpeaker:
         attrs = update.attributes
 
         # eBGP sender-side loop detection: drop routes carrying our AS.
+        # The announcement still replaces the peer's previous route for
+        # the NLRI (RFC 4271 §9.1.1 treat-as-withdraw): when a neighbour
+        # repoints its best path through us, its old route must not
+        # linger in our Adj-RIB-In — at topology scale that residue
+        # leaves phantom reachability after the origin withdraws.
         if peer.is_ebgp and attrs.as_path.contains(self.config.asn):
             self.work.prefixes_announced += len(update.nlri)
             self.audit.announced += len(update.nlri)
             self.audit.loop_dropped += len(update.nlri)
-            if probe is not None:
-                for prefix in update.nlri:
+            for prefix in update.nlri:
+                if probe is not None:
                     probe.decision(prefix, "loop_dropped")
+                if peer.adj_rib_in.withdraw(prefix) is RouteChange.REMOVED:
+                    self._run_decision(prefix)
+            if probe is not None:
                 probe.update_end()
             return
 
@@ -562,12 +578,23 @@ class BgpSpeaker:
         source = self.peers.get(route.peer_id)
         learned_over_ibgp = source is not None and not source.is_ebgp
         for peer in self.peers.values():
-            if not peer.established or peer.config.peer_id == route.peer_id:
+            if not peer.established:
                 continue
-            # iBGP split horizon (RFC 4271 §9.2): routes learned from an
+            # Sender-side loop avoidance (the learned-from peer) and
+            # iBGP split horizon (RFC 4271 §9.2: routes learned from an
             # internal peer are not re-advertised to other internal
-            # peers — full-mesh iBGP relies on it.
-            if learned_over_ibgp and not peer.is_ebgp:
+            # peers). Either way the peer may hold a route we advertised
+            # earlier — that must be withdrawn, not left dangling, or
+            # two ASes can each keep the other's stale route alive
+            # forever after the origin withdraws.
+            if peer.config.peer_id == route.peer_id or (
+                learned_over_ibgp and not peer.is_ebgp
+            ):
+                if (
+                    self.config.split_horizon_withdraw
+                    and peer.adj_rib_out.advertised(route.prefix) is not None
+                ):
+                    self._stage_one(peer, route.prefix, None)
                 continue
             exported = self._export_attributes(peer, route)
             if exported is None:

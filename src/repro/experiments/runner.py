@@ -13,6 +13,9 @@
                   [--cell-timeout 300] [--retries 2] [--max-failures 5]
                   [--strict] [--resume] [--chaos plan.json]
     bgpbench regress [--golden benchmarks/golden/grid-small.json] [--bless]
+    bgpbench topo --family convergence [--tier1 2 --tier2 5 --stubs 18]
+                  [--mrai 30] [--damping] [--sanitize] [--telemetry]
+                  [--json out.json]
     bgpbench lint [paths ...] [--format json] [--select RPR001 ...]
     bgpbench check --sanitize [--platform pentium3] [--scenario 5]
 
@@ -23,7 +26,10 @@ grid and exits non-zero on drift (see docs/GRID.md). The resilience
 flags (``--cell-timeout``/``--retries``/``--max-failures``/``--strict``)
 switch both to supervised execution: failing cells degrade to a failure
 manifest and exit status 3 instead of aborting the run, and ``--resume``
-finishes an interrupted run from its checkpoint journal. ``lint`` runs the
+finishes an interrupted run from its checkpoint journal. ``topo`` runs
+one topology benchmark cell (an AS graph of interacting speakers, see
+docs/TOPOLOGY.md); ``regress --bless --topo`` creates the topology
+golden baseline. ``lint`` runs the
 determinism linter over the source tree and ``check --sanitize`` runs
 one scenario in checked mode (see docs/ANALYSIS.md); both exit
 non-zero on findings, so CI can gate on them. ``--trace``/``--metrics``
@@ -175,7 +181,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--bless", action="store_true",
         help="rewrite the golden file from the fresh results instead of diffing",
     )
+    regress.add_argument(
+        "--topo", action="store_true",
+        help="with --bless and no existing golden: pin the default topology "
+             "grid instead of the scenario grid",
+    )
     _add_pool_arguments(regress)
+
+    topo = sub.add_parser(
+        "topo", help="run one topology benchmark cell (AS graph of speakers)"
+    )
+    topo.add_argument(
+        "--family", choices=("convergence", "withdraw", "churn"),
+        default="convergence",
+        help="benchmark family (see docs/TOPOLOGY.md)",
+    )
+    topo.add_argument("--tier1", type=int, default=2, help="tier-1 AS count")
+    topo.add_argument("--tier2", type=int, default=5, help="tier-2 AS count")
+    topo.add_argument("--stubs", type=int, default=18, help="stub AS count")
+    topo.add_argument("--seed", type=int, default=42)
+    topo.add_argument("--link-delay", type=float, default=0.01,
+                      help="mean per-link propagation delay (seconds)")
+    topo.add_argument("--mrai", type=float, default=0.0,
+                      help="per-peer MRAI interval (seconds, 0 = off)")
+    topo.add_argument("--damping", action="store_true",
+                      help="enable RFC 2439 flap damping on every peering")
+    topo.add_argument("--origins", type=int, default=1,
+                      help="number of origin stub ASes")
+    topo.add_argument("--flaps", type=int, default=4,
+                      help="flap cycles per origin (churn family)")
+    topo.add_argument("--flap-interval", type=float, default=60.0,
+                      help="seconds per flap cycle (churn family)")
+    topo.add_argument("--measured", type=int, default=0,
+                      help="instantiate this many tier-1 ASes as full costed "
+                           "router systems")
+    topo.add_argument("--platform", choices=sorted(PLATFORMS),
+                      default="pentium3",
+                      help="platform model for --measured routers")
+    topo.add_argument("--sanitize", action="store_true",
+                      help="run in checked mode (topology-wide sanitizer)")
+    topo.add_argument("--telemetry", action="store_true",
+                      help="publish per-AS/per-link counters as a metrics "
+                           "artifact (observe-only)")
+    topo.add_argument("--telemetry-dir", type=Path, default=Path("telemetry"),
+                      help="directory for the metrics artifact (with --telemetry)")
+    topo.add_argument("--json", type=Path, default=None, metavar="PATH",
+                      help="write the canonical {cell_id: result} JSON "
+                           "(byte-identical across runs of one spec)")
 
     lint = sub.add_parser(
         "lint", help="run the determinism linter over the source tree"
@@ -428,6 +480,57 @@ def _run_grid(args) -> int:
     return 0 if report.ok else EXIT_PARTIAL_FAILURE
 
 
+def _run_topo(args) -> int:
+    import json
+
+    from repro.grid.cells import result_json
+    from repro.topo import TopoCell, run_topo_cell
+
+    cell = TopoCell(
+        family=args.family,
+        tier1=args.tier1,
+        tier2=args.tier2,
+        stubs=args.stubs,
+        seed=args.seed,
+        link_delay=args.link_delay,
+        mrai=args.mrai,
+        damping=args.damping,
+        origins=args.origins,
+        flaps=args.flaps,
+        flap_interval=args.flap_interval,
+        measured=args.measured,
+        platform=args.platform,
+    )
+    telemetry_dir = _telemetry_dir(args)
+    if telemetry_dir is not None:
+        args.telemetry_dir.mkdir(parents=True, exist_ok=True)
+    result = run_topo_cell(cell, sanitize=args.sanitize, telemetry_dir=telemetry_dir)
+    print(
+        f"{cell.cell_id}: {result['ases']} ASes, {result['links']} links, "
+        f"origins {result['origin_ases']}"
+    )
+    print(
+        f"converged in {result['convergence_time']:.4f}s virtual: "
+        f"{result['updates_sent']} UPDATEs, {result['transactions']} "
+        f"transactions ({result['transactions_per_second']:.1f} tps)"
+    )
+    print(
+        f"ghost paths {result['ghost_paths']}, path changes "
+        f"{result['path_changes']}, MRAI deferrals {result['mrai_deferrals']}, "
+        f"damping suppressed {result['damping_suppressed']}, "
+        f"routes after {result['fib_size_after']}"
+    )
+    if args.sanitize:
+        print("[sanitizer: clean]")
+    if telemetry_dir is not None:
+        print(f"[metrics artifact in {telemetry_dir}]")
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(result_json({cell.cell_id: result}) + "\n")
+        print(f"[written {args.json}]")
+    return 0
+
+
 def _run_regress(args) -> int:
     from repro.grid import bless, compare, enumerate_grid, load_golden, run_grid
     from repro.grid.baseline import DEFAULT_TOLERANCE
@@ -438,12 +541,20 @@ def _run_regress(args) -> int:
         tolerance = golden["tolerance"]
     elif args.bless:
         golden = None
-        grid_spec = {
-            "scenarios": list(range(1, 9)),
-            "platforms": sorted(PLATFORMS),
-            "seeds": [42],
-            "table_sizes": [150],
-        }
+        if args.topo:
+            from repro.topo import default_topo_grid
+
+            grid_spec = {
+                "kind": "topo",
+                "cells": [cell.spec() for cell in default_topo_grid()],
+            }
+        else:
+            grid_spec = {
+                "scenarios": list(range(1, 9)),
+                "platforms": sorted(PLATFORMS),
+                "seeds": [42],
+                "table_sizes": [150],
+            }
         tolerance = DEFAULT_TOLERANCE
     else:
         print(f"regress: no golden baseline at {args.golden} "
@@ -452,12 +563,19 @@ def _run_regress(args) -> int:
     if args.tolerance is not None:
         tolerance = args.tolerance
 
-    cells = enumerate_grid(
-        scenarios=grid_spec["scenarios"],
-        platforms=grid_spec["platforms"],
-        seeds=grid_spec["seeds"],
-        table_sizes=grid_spec["table_sizes"],
-    )
+    if grid_spec.get("kind") == "topo":
+        # A topology golden: the grid is an explicit cell list rather
+        # than a cartesian enumeration.
+        from repro.topo import TopoCell
+
+        cells = [TopoCell.from_spec(spec) for spec in grid_spec["cells"]]
+    else:
+        cells = enumerate_grid(
+            scenarios=grid_spec["scenarios"],
+            platforms=grid_spec["platforms"],
+            seeds=grid_spec["seeds"],
+            table_sizes=grid_spec["table_sizes"],
+        )
     policy = _make_policy(args)
     report = run_grid(
         cells, workers=args.workers, cache=_make_cache(args),
@@ -619,6 +737,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _run_grid(args)
     elif args.command == "regress":
         return _run_regress(args)
+    elif args.command == "topo":
+        return _run_topo(args)
     elif args.command == "lint":
         return _run_lint(args)
     elif args.command == "check":

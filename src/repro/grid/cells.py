@@ -136,7 +136,18 @@ def run_cell(
     observe only, so the result is byte-identical either way (sanitizer
     violations raise :class:`~repro.analysis.sanitizer.SanitizerError`
     instead of returning a result).
+
+    Topology cells (:class:`repro.topo.families.TopoCell`) dispatch to
+    their own runner; everything downstream of this function (executor,
+    cache, journal, golden gate) is duck-typed over the cell, so both
+    kinds flow through one grid.
     """
+    if not isinstance(cell, GridCell):
+        from repro.topo.families import TopoCell, run_topo_cell
+
+        if isinstance(cell, TopoCell):
+            return run_topo_cell(cell, sanitize=sanitize, telemetry_dir=telemetry_dir)
+        raise TypeError(f"unsupported grid cell type: {type(cell).__name__}")
     router = build_system(cell.platform)
     sanitizer = None
     telemetry = None

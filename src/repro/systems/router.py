@@ -26,7 +26,6 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.bgp.messages import KeepaliveMessage, OpenMessage
 from repro.bgp.speaker import BgpSpeaker, PeerConfig, SpeakerConfig, WorkLog
 from repro.forwarding.fib import Fib
 from repro.net.addr import IPv4Address
@@ -52,6 +51,7 @@ class RouterSystem:
         asn: int = ROUTER_ASN,
         router_id: IPv4Address = ROUTER_ID,
         local_address: IPv4Address = ROUTER_ADDRESS,
+        split_horizon_withdraw: bool = False,
     ):
         self.spec = spec
         self.world = world if world is not None else World()
@@ -62,6 +62,7 @@ class RouterSystem:
                 bgp_identifier=router_id,
                 local_address=local_address,
                 hold_time=0.0,  # timers off: the benchmark drives all I/O
+                split_horizon_withdraw=split_horizon_withdraw,
             ),
             fib=self.fib,
         )
@@ -94,16 +95,17 @@ class RouterSystem:
         self.speaker.set_send_callback(config.peer_id, outbox.append)
 
     def handshake(self, peer_id: str, remote_asn: int, remote_id: IPv4Address) -> None:
-        """Establish the session instantaneously (setup, not measured)."""
-        now = self.world.sim.now
-        self.speaker.start_peer(peer_id, now=now)
-        self.speaker.transport_connected(peer_id, now=now)
-        self.speaker.receive_bytes(
-            peer_id, OpenMessage(remote_asn, 0, remote_id).encode(), now=now
+        """Establish the session instantaneously (setup, not measured).
+
+        Delegates to the reusable wiring helper (lazy import: ``repro.
+        topo`` builds on this module, so the dependency must stay
+        one-way at import time).
+        """
+        from repro.topo.wiring import establish_session
+
+        establish_session(
+            self.speaker, peer_id, remote_asn, remote_id, now=self.world.sim.now
         )
-        self.speaker.receive_bytes(peer_id, KeepaliveMessage().encode(), now=now)
-        if not self.speaker.peers[peer_id].established:
-            raise RuntimeError(f"handshake with {peer_id} failed")
 
     def reset_counters(self) -> None:
         """Zero the measurement state at a phase boundary."""

@@ -1,0 +1,102 @@
+"""Speaker/session wiring, extracted from the two-speaker harness.
+
+Until the topology subsystem, session establishment and link plumbing
+lived inside :class:`repro.systems.router.RouterSystem` and
+:mod:`repro.benchmark.chain`, both hard-wired to the paper's two-speaker
+shape. The helpers here are the reusable versions: they work for any
+pair of speakers (or costed router systems) in any graph, and are what
+:class:`repro.topo.network.TopologyHarness`, the chain benchmark, and
+``RouterSystem.handshake`` now share.
+
+Establishment is *functional and instantaneous*: the OPEN/KEEPALIVE
+exchange is synthesized directly into each speaker's receive path, so
+session setup costs no virtual time — benchmarks measure UPDATE
+processing, not handshakes (paper phase 1 is setup, not measurement).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.bgp.messages import KeepaliveMessage, OpenMessage
+
+if TYPE_CHECKING:
+    from repro.bgp.speaker import BgpSpeaker
+    from repro.net.addr import IPv4Address
+
+
+class WiringError(RuntimeError):
+    """A session failed to establish during functional wiring."""
+
+
+def establish_session(
+    speaker: "BgpSpeaker",
+    peer_id: str,
+    remote_asn: int,
+    remote_id: "IPv4Address",
+    now: float = 0.0,
+) -> None:
+    """Drive one side of a session to ESTABLISHED by synthesizing the
+    remote's OPEN and KEEPALIVE into the local receive path.
+
+    The peer must already be configured (``add_peer``). The speaker's
+    own OPEN/KEEPALIVE go out through whatever send callback is set —
+    callers wiring a live network set the link callbacks *after*
+    establishment so handshake bytes never travel as simulated packets.
+    """
+    speaker.start_peer(peer_id, now=now)
+    speaker.transport_connected(peer_id, now=now)
+    speaker.receive_bytes(
+        peer_id, OpenMessage(remote_asn, 0, remote_id).encode(), now=now
+    )
+    speaker.receive_bytes(peer_id, KeepaliveMessage().encode(), now=now)
+    if not speaker.peers[peer_id].established:
+        raise WiringError(
+            f"session with {peer_id} (AS {remote_asn}) failed to establish"
+        )
+
+
+def handshake_pair(
+    a: "BgpSpeaker",
+    a_peer_id: str,
+    b: "BgpSpeaker",
+    b_peer_id: str,
+    now: float = 0.0,
+) -> None:
+    """Establish both directions of one adjacency between two speakers.
+
+    *a_peer_id* is a's name for b, *b_peer_id* is b's name for a; each
+    side's synthesized OPEN carries the other's real ASN and identifier.
+    """
+    establish_session(
+        a, a_peer_id, b.config.asn, b.config.bgp_identifier, now=now
+    )
+    establish_session(
+        b, b_peer_id, a.config.asn, a.config.bgp_identifier, now=now
+    )
+
+
+def wire_oneway(
+    upstream,
+    upstream_peer: str,
+    downstream,
+    downstream_peer: str,
+    link_delay: float = 0.0,
+) -> None:
+    """Wire *upstream*'s emissions toward *downstream* over a delayed
+    link (one direction). Both ends must share one world.
+
+    The upstream speaker's send callback for *upstream_peer* is replaced
+    so every emitted packet enters *downstream*'s receive path
+    (``deliver``) after *link_delay* virtual seconds. Works for any
+    object exposing ``world``, ``speaker`` and ``deliver`` — costed
+    :class:`~repro.systems.router.RouterSystem` instances and the
+    uncosted topology nodes alike.
+    """
+    if upstream.world is not downstream.world:
+        raise ValueError("wired systems must share a world")
+
+    def forward(data: bytes) -> None:
+        downstream.deliver(downstream_peer, data, delay=link_delay)
+
+    upstream.speaker.set_send_callback(upstream_peer, forward)

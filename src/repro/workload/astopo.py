@@ -58,30 +58,46 @@ class AsTopology:
             raise AsTopologyError(f"duplicate AS {asn}")
         self._nodes[asn] = _AsNode(asn, tier)
 
+    def _node(self, asn: int) -> _AsNode:
+        node = self._nodes.get(asn)
+        if node is None:
+            raise AsTopologyError(f"unknown AS {asn}")
+        return node
+
     def relate(self, a: int, b: int, relationship: Relationship) -> None:
         """Record that, from *a*'s view, *b* is *relationship* (and the
         inverse from *b*'s view)."""
         if a == b:
             raise AsTopologyError(f"self relationship at AS {a}")
-        self._nodes[a].neighbors[b] = relationship
-        self._nodes[b].neighbors[a] = _INVERSE[relationship]
+        node_a, node_b = self._node(a), self._node(b)
+        node_a.neighbors[b] = relationship
+        node_b.neighbors[a] = _INVERSE[relationship]
 
     def ases(self) -> list[int]:
         return sorted(self._nodes)
 
     def tier_of(self, asn: int) -> int:
-        return self._nodes[asn].tier
+        return self._node(asn).tier
 
     def relationship(self, a: int, b: int) -> Relationship | None:
-        return self._nodes[a].neighbors.get(b)
+        return self._node(a).neighbors.get(b)
 
     def neighbors(self, asn: int) -> dict[int, Relationship]:
-        return dict(self._nodes[asn].neighbors)
+        return dict(self._node(asn).neighbors)
 
     def customers(self, asn: int) -> list[int]:
         return sorted(
-            n for n, rel in self._nodes[asn].neighbors.items()
+            n for n, rel in self._node(asn).neighbors.items()
             if rel is Relationship.CUSTOMER
+        )
+
+    def links(self) -> list[tuple[int, int]]:
+        """Every adjacency as a sorted (low-ASN, high-ASN) pair."""
+        return sorted(
+            (min(a, b), max(a, b))
+            for a in self._nodes
+            for b in self._nodes[a].neighbors
+            if a < b
         )
 
     def __len__(self) -> int:

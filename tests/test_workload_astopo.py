@@ -72,6 +72,77 @@ class TestTopology:
             assert a.neighbors(asn) == b.neighbors(asn)
 
 
+class TestUnknownAsn:
+    """Regression: accessors used to leak bare KeyError for unknown
+    ASNs; they must raise AsTopologyError naming the AS."""
+
+    def test_relate_unknown_first(self):
+        topology = tiny_topology()
+        with pytest.raises(AsTopologyError, match="unknown AS 999"):
+            topology.relate(999, 10, Relationship.PEER)
+
+    def test_relate_unknown_second_mutates_nothing(self):
+        topology = tiny_topology()
+        before = topology.neighbors(10)
+        with pytest.raises(AsTopologyError, match="unknown AS 999"):
+            topology.relate(10, 999, Relationship.PEER)
+        # Both endpoints validated before any mutation.
+        assert topology.neighbors(10) == before
+
+    def test_tier_of_unknown(self):
+        with pytest.raises(AsTopologyError, match="unknown AS 777"):
+            tiny_topology().tier_of(777)
+
+    def test_relationship_unknown(self):
+        with pytest.raises(AsTopologyError, match="unknown AS 777"):
+            tiny_topology().relationship(777, 10)
+
+    def test_neighbors_unknown(self):
+        with pytest.raises(AsTopologyError, match="unknown AS 777"):
+            tiny_topology().neighbors(777)
+
+    def test_customers_unknown(self):
+        with pytest.raises(AsTopologyError, match="unknown AS 777"):
+            tiny_topology().customers(777)
+
+    def test_not_a_key_error(self):
+        # The exact regression: callers catching ValueError must win.
+        try:
+            tiny_topology().tier_of(777)
+        except KeyError:  # pragma: no cover - the bug being prevented
+            pytest.fail("tier_of leaked a bare KeyError")
+        except AsTopologyError:
+            pass
+
+
+class TestLinks:
+    def test_links_sorted_undirected_pairs(self):
+        topology = tiny_topology()
+        assert topology.links() == [(10, 20), (20, 30), (30, 40)]
+
+    def test_links_cover_every_adjacency_once(self):
+        topology = AsTopology.hierarchy(tier1=3, tier2=6, stubs=20, seed=1)
+        links = topology.links()
+        assert len(links) == len(set(links))
+        for a, b in links:
+            assert a < b
+            assert topology.relationship(a, b) is not None
+        degree = sum(len(topology.neighbors(asn)) for asn in topology.ases())
+        assert len(links) == degree // 2
+
+
+class TestVantageDeterminism:
+    def test_same_seed_same_vantage_paths(self):
+        """Property: the full vantage->origin path map is a pure
+        function of the topology seed."""
+        for seed in (1, 7, 42):
+            a = AsTopology.hierarchy(tier1=2, tier2=5, stubs=15, seed=seed)
+            b = AsTopology.hierarchy(tier1=2, tier2=5, stubs=15, seed=seed)
+            stubs = [asn for asn in a.ases() if a.tier_of(asn) == 3]
+            for origin in stubs[:3]:
+                assert valley_free_paths(a, origin) == valley_free_paths(b, origin)
+
+
 def is_valley_free(topology, full_path):
     """Check the up* [flat] down* pattern along origin -> receiver.
 
