@@ -231,6 +231,11 @@ class PathAttributes:
     ``local_pref`` defaults to 100, the conventional default applied to
     routes that arrive without the attribute (it is only mandatory on
     iBGP sessions).
+
+    Instances are hash-cached and internable (:func:`intern_attributes`):
+    the RIB and Adj-RIB-Out hot paths compare attribute sets on every
+    announcement, and a flyweight turns those deep structural
+    comparisons into pointer checks.
     """
 
     origin: Origin = Origin.IGP
@@ -242,6 +247,27 @@ class PathAttributes:
     aggregator: Aggregator | None = None
     communities: tuple[int, ...] = ()
     unknown: tuple[UnknownAttribute, ...] = ()
+    #: Lazily computed structural hash; an attribute set is hashed on
+    #: every Adj-RIB-Out flush group and every intern probe, and the
+    #: nested AS_PATH tuples make each recomputation a deep walk.
+    _hash: "int | None" = field(default=None, init=False, repr=False, compare=False)
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash((
+                self.origin,
+                self.as_path,
+                self.next_hop,
+                self.med,
+                self.local_pref,
+                self.atomic_aggregate,
+                self.aggregator,
+                self.communities,
+                self.unknown,
+            ))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def effective_local_pref(self) -> int:
         return 100 if self.local_pref is None else self.local_pref
@@ -473,3 +499,92 @@ def decode_attributes(data: bytes, require_mandatory: bool = True) -> PathAttrib
         communities=communities,
         unknown=tuple(unknown),
     )
+
+
+# -- attribute flyweights and the decode cache ----------------------------
+#
+# Two small caches carry most of the speaker's hot-path speedup:
+#
+# * ``intern_attributes`` maps every attribute set to one canonical
+#   instance, so the RIB equality checks on announcement/staging become
+#   identity checks (the flyweight pattern every production BGP stack
+#   applies to its attribute store);
+# * ``decode_attributes_cached`` memoizes successful decodes by the
+#   exact wire blob — table transfers and storms repeat a small set of
+#   attribute blobs across thousands of UPDATEs, and a repeat costs one
+#   dict probe instead of a full parse.
+#
+# Both caches stop growing at a fixed capacity instead of evicting:
+# behaviour stays deterministic (no eviction-order dependence), and the
+# working set of real tables is far below the caps. Errors are never
+# cached — corrupt input re-raises through the full parse every time,
+# keeping the error taxonomy identical to the uncached path.
+
+_INTERN_CAPACITY = 1 << 16
+_DECODE_CACHE_CAPACITY = 1 << 15
+
+_interned: "dict[PathAttributes, PathAttributes]" = {}
+_decode_cache_strict: "dict[bytes, PathAttributes]" = {}
+_decode_cache_lax: "dict[bytes, PathAttributes]" = {}
+_cache_counters = {
+    "intern_hits": 0,
+    "intern_misses": 0,
+    "decode_hits": 0,
+    "decode_misses": 0,
+}
+
+
+def intern_attributes(attrs: PathAttributes) -> PathAttributes:
+    """Return the canonical instance equal to *attrs*.
+
+    Two interned attribute sets are equal iff they are the same object,
+    which the RIBs exploit with identity fast paths. Safe on arbitrary
+    inputs: a non-internable set (cache full) is returned unchanged.
+    """
+    canonical = _interned.get(attrs)
+    if canonical is not None:
+        _cache_counters["intern_hits"] += 1
+        return canonical
+    _cache_counters["intern_misses"] += 1
+    if len(_interned) < _INTERN_CAPACITY:
+        _interned[attrs] = attrs
+    return attrs
+
+
+def decode_attributes_cached(
+    data: "bytes | memoryview", require_mandatory: bool = True
+) -> PathAttributes:
+    """Like :func:`decode_attributes`, memoized by the wire blob.
+
+    *data* may be a read-only :class:`memoryview`; a cache hit then
+    performs no copy at all. The returned instance is interned.
+    """
+    cache = _decode_cache_strict if require_mandatory else _decode_cache_lax
+    cached = cache.get(data)
+    if cached is not None:
+        _cache_counters["decode_hits"] += 1
+        return cached
+    _cache_counters["decode_misses"] += 1
+    blob = bytes(data)
+    attrs = intern_attributes(decode_attributes(blob, require_mandatory))
+    if len(cache) < _DECODE_CACHE_CAPACITY:
+        cache[blob] = attrs
+    return attrs
+
+
+def codec_cache_stats() -> "dict[str, int]":
+    """Hit/miss counters plus live sizes — published by ``bgpbench perf``."""
+    return {
+        **_cache_counters,
+        "interned_size": len(_interned),
+        "decode_cache_size": len(_decode_cache_strict) + len(_decode_cache_lax),
+    }
+
+
+def clear_codec_caches() -> None:
+    """Reset the flyweight and decode caches (tests and benchmarks)."""
+    _interned.clear()
+    _decode_cache_strict.clear()
+    _decode_cache_lax.clear()
+    for key in _cache_counters:
+        _cache_counters[key] = 0

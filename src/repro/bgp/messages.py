@@ -11,7 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bgp.attributes import PathAttributes, decode_attributes, encode_attributes
+from repro.bgp.attributes import (
+    PathAttributes,
+    decode_attributes,
+    decode_attributes_cached,
+    encode_attributes,
+)
 from repro.bgp.errors import (
     HeaderSubcode,
     OpenSubcode,
@@ -52,33 +57,78 @@ def encode_nlri(prefixes: "list[Prefix] | tuple[Prefix, ...]") -> bytes:
     return bytes(out)
 
 
-def decode_nlri(data: bytes) -> list[Prefix]:
-    """Unpack NLRI wire format into prefixes, validating lengths and
-    rejecting non-zero trailing host bits (RFC 4271 §6.3)."""
+#: Decoded-prefix flyweight cache keyed by ``network * 64 + length``.
+#: NLRI repeats heavily across a session (flap storms re-announce the
+#: same table), and a hit skips both the ``Prefix`` construction and
+#: its canonical-form validation. Bounded: when full, new prefixes are
+#: simply built uncached — behaviour stays deterministic.
+_PREFIX_CACHE_CAPACITY = 1 << 17
+_prefix_cache: dict[int, Prefix] = {}
+
+
+def clear_prefix_cache() -> None:
+    """Reset the decoded-prefix flyweight cache (tests and benchmarks)."""
+    _prefix_cache.clear()
+
+
+def _decode_nlri_range(data: bytes, offset: int, end: int) -> list[Prefix]:
+    """Batched NLRI parse over ``data[offset:end]`` without sub-slicing.
+
+    The hot loop reads straight out of the enclosing message buffer —
+    no per-prefix byte-string allocation — and resolves each
+    (network, length) through the prefix flyweight cache.
+    """
     prefixes: list[Prefix] = []
-    offset = 0
-    while offset < len(data):
+    append = prefixes.append
+    cache = _prefix_cache
+    cache_get = cache.get
+    while offset < end:
         length = data[offset]
         offset += 1
         if length > 32:
             raise update_error(
                 UpdateSubcode.INVALID_NETWORK_FIELD, message=f"prefix length {length} > 32"
             )
-        byte_count = (length + 7) // 8
-        if offset + byte_count > len(data):
+        byte_count = (length + 7) >> 3
+        if offset + byte_count > end:
             raise update_error(
                 UpdateSubcode.INVALID_NETWORK_FIELD, message="truncated NLRI prefix"
             )
-        raw = data[offset : offset + byte_count]
-        offset += byte_count
-        network = int.from_bytes(raw + b"\x00" * (4 - byte_count), "big")
-        if length and network & ((1 << (32 - length)) - 1):
-            raise update_error(
-                UpdateSubcode.INVALID_NETWORK_FIELD,
-                message=f"host bits set in NLRI {IPv4Address(network)}/{length}",
+        if byte_count == 3:
+            network = (data[offset] << 24) | (data[offset + 1] << 16) | (data[offset + 2] << 8)
+        elif byte_count == 2:
+            network = (data[offset] << 24) | (data[offset + 1] << 16)
+        elif byte_count == 4:
+            network = (
+                (data[offset] << 24)
+                | (data[offset + 1] << 16)
+                | (data[offset + 2] << 8)
+                | data[offset + 3]
             )
-        prefixes.append(Prefix(network, length))
+        elif byte_count == 1:
+            network = data[offset] << 24
+        else:
+            network = 0
+        offset += byte_count
+        key = (network << 6) | length
+        prefix = cache_get(key)
+        if prefix is None:
+            if length and network & ((1 << (32 - length)) - 1):
+                raise update_error(
+                    UpdateSubcode.INVALID_NETWORK_FIELD,
+                    message=f"host bits set in NLRI {IPv4Address(network)}/{length}",
+                )
+            prefix = Prefix(network, length)
+            if len(cache) < _PREFIX_CACHE_CAPACITY:
+                cache[key] = prefix
+        append(prefix)
     return prefixes
+
+
+def decode_nlri(data: bytes) -> list[Prefix]:
+    """Unpack NLRI wire format into prefixes, validating lengths and
+    rejecting non-zero trailing host bits (RFC 4271 §6.3)."""
+    return _decode_nlri_range(data, 0, len(data))
 
 
 def _frame(msg_type: int, body: bytes) -> bytes:
@@ -185,7 +235,7 @@ class UpdateMessage:
                 UpdateSubcode.MALFORMED_ATTRIBUTE_LIST,
                 message="withdrawn length overruns message",
             )
-        withdrawn = decode_nlri(body[2:attrs_start])
+        withdrawn = _decode_nlri_range(body, 2, attrs_start)
         attr_len = int.from_bytes(body[attrs_start : attrs_start + 2], "big")
         nlri_start = attrs_start + 2 + attr_len
         if nlri_start > len(body):
@@ -193,11 +243,17 @@ class UpdateMessage:
                 UpdateSubcode.MALFORMED_ATTRIBUTE_LIST,
                 message="attribute length overruns message",
             )
-        attr_bytes = body[attrs_start + 2 : nlri_start]
-        nlri = decode_nlri(body[nlri_start:])
+        nlri = _decode_nlri_range(body, nlri_start, len(body))
         attributes: PathAttributes | None = None
-        if attr_bytes or nlri:
-            attributes = decode_attributes(attr_bytes, require_mandatory=bool(nlri))
+        if attr_len or nlri:
+            # Zero-copy: hand the attribute blob to the memoizing decoder
+            # as a read-only view of the message body. A repeated blob
+            # (flap storms, table dumps sharing one path) skips parsing
+            # entirely and returns the interned flyweight.
+            attributes = decode_attributes_cached(
+                memoryview(body)[attrs_start + 2 : nlri_start],
+                require_mandatory=bool(nlri),
+            )
         return cls(tuple(withdrawn), attributes, tuple(nlri))
 
     def routes(self) -> list[Route]:
@@ -307,8 +363,20 @@ def iter_messages(stream: bytes):
     or protocol error, mirroring how a session would be torn down.
     """
     offset = 0
-    view = memoryview(stream)
-    while offset < len(stream):
-        message, consumed = _decode_one(bytes(view[offset:]))
+    total = len(stream)
+    while offset < total:
+        # Peek the declared length so only one message's bytes are
+        # sliced out per iteration (O(n) over the stream instead of the
+        # old copy-the-remainder O(n²)). Clamping the slice to at least
+        # a header keeps _decode_one's error taxonomy identical: the
+        # marker is still checked before a bad declared length.
+        if offset + HEADER_LEN <= total:
+            length = (stream[offset + 16] << 8) | stream[offset + 17]
+            end = offset + (length if length > HEADER_LEN else HEADER_LEN)
+            if end > total:
+                end = total
+        else:
+            end = total
+        message, consumed = _decode_one(stream[offset:end])
         yield message, consumed
         offset += consumed

@@ -10,6 +10,12 @@ Every mutation returns an explicit :class:`RouteChange` so the caller
 (the speaker, and through it the benchmark's cost model) knows whether
 the forwarding table must change — the distinction on which benchmark
 scenarios 5/6 versus 7/8 turn.
+
+All three are backed by :class:`repro.perf.triemap.PrefixTrieMap`, an
+indexed patricia trie: per-UPDATE operations are one packed-int dict
+probe, withdrawn prefixes tombstone in place so churn re-adds are O(1),
+and iteration is a deterministic ascending ``(network, length)``
+snapshot — safe to consume while the speaker keeps mutating.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from typing import Iterator
 
 from repro.bgp.attributes import PathAttributes
 from repro.net.addr import Prefix
+from repro.perf.triemap import PrefixTrieMap
 
 
 class RouteChange(Enum):
@@ -46,16 +53,26 @@ class AdjRibIn:
 
     def __init__(self, peer_id: str):
         self.peer_id = peer_id
-        self._routes: dict[Prefix, PathAttributes] = {}
+        self._routes = PrefixTrieMap()
+        # Hot-path alias: the trie's exact-match index is one dict that
+        # is mutated in place but never rebound, so the bound ``get``
+        # stays valid for the RIB's lifetime. Probing it directly makes
+        # the per-UPDATE fast path a single small-int dict lookup with
+        # no intervening method calls.
+        self._node_get = self._routes._index.get
 
     def __len__(self) -> int:
         return len(self._routes)
 
     def __contains__(self, prefix: Prefix) -> bool:
-        return prefix in self._routes
+        node = self._node_get((prefix.network << 6) | prefix.length)
+        return node is not None and node.has_value
 
     def get(self, prefix: Prefix) -> PathAttributes | None:
-        return self._routes.get(prefix)
+        node = self._node_get((prefix.network << 6) | prefix.length)
+        if node is not None and node.has_value:
+            return node.value
+        return None
 
     def update(self, prefix: Prefix, attributes: PathAttributes) -> RouteChange:
         """Install or replace the neighbour's route for *prefix*.
@@ -63,27 +80,46 @@ class AdjRibIn:
         An implicit withdraw (RFC 4271 §3.1): a new announcement for a
         prefix replaces the previous one from the same neighbour.
         """
-        existing = self._routes.get(prefix)
-        if existing == attributes:
-            return RouteChange.UNCHANGED
-        self._routes[prefix] = attributes
-        return RouteChange.ADDED if existing is None else RouteChange.REPLACED
+        routes = self._routes
+        node = self._node_get((prefix.network << 6) | prefix.length)
+        if node is not None:
+            if node.has_value:
+                existing = node.value
+                # Interned attributes make the no-op re-announcement
+                # (the flap workload's dominant case) an identity hit
+                # before the field-by-field comparison runs.
+                if existing is attributes or existing == attributes:
+                    return RouteChange.UNCHANGED
+                node.value = attributes
+                return RouteChange.REPLACED
+            # Tombstone left by a withdrawal: revive in place.
+            node.prefix = prefix
+            node.value = attributes
+            node.has_value = True
+            routes._count += 1
+            return RouteChange.ADDED
+        routes.set(prefix, attributes)
+        return RouteChange.ADDED
 
     def withdraw(self, prefix: Prefix) -> RouteChange:
-        if self._routes.pop(prefix, None) is None:
+        node = self._node_get((prefix.network << 6) | prefix.length)
+        if node is None or not node.has_value:
             return RouteChange.ABSENT
+        node.value = None
+        node.has_value = False
+        self._routes._count -= 1
         return RouteChange.REMOVED
 
     def clear(self) -> int:
         """Drop all routes (session teardown); returns how many were dropped."""
-        count = len(self._routes)
-        self._routes.clear()
-        return count
+        return self._routes.clear()
 
     def prefixes(self) -> Iterator[Prefix]:
-        return iter(self._routes)
+        """Snapshot iterator over prefixes in (network, length) order."""
+        return iter(self._routes.keys())
 
     def items(self) -> Iterator[tuple[Prefix, PathAttributes]]:
+        """Snapshot iterator over (prefix, attributes) in (network, length) order."""
         return iter(self._routes.items())
 
 
@@ -91,43 +127,74 @@ class LocRib:
     """The locally selected best routes."""
 
     def __init__(self) -> None:
-        self._routes: dict[Prefix, RibRoute] = {}
+        self._routes = PrefixTrieMap()
+        # Same hot-path alias as AdjRibIn: _index is mutated in place,
+        # never rebound.
+        self._node_get = self._routes._index.get
 
     def __len__(self) -> int:
         return len(self._routes)
 
     def __contains__(self, prefix: Prefix) -> bool:
-        return prefix in self._routes
+        node = self._node_get((prefix.network << 6) | prefix.length)
+        return node is not None and node.has_value
 
     def get(self, prefix: Prefix) -> RibRoute | None:
-        return self._routes.get(prefix)
+        node = self._node_get((prefix.network << 6) | prefix.length)
+        if node is not None and node.has_value:
+            return node.value
+        return None
 
     def set_best(self, route: RibRoute) -> RouteChange:
-        existing = self._routes.get(route.prefix)
-        if existing == route:
-            return RouteChange.UNCHANGED
-        self._routes[route.prefix] = route
-        return RouteChange.ADDED if existing is None else RouteChange.REPLACED
+        prefix = route.prefix
+        node = self._node_get((prefix.network << 6) | prefix.length)
+        if node is not None:
+            if node.has_value:
+                existing = node.value
+                if existing is route or existing == route:
+                    return RouteChange.UNCHANGED
+                node.value = route
+                return RouteChange.REPLACED
+            node.prefix = prefix
+            node.value = route
+            node.has_value = True
+            self._routes._count += 1
+            return RouteChange.ADDED
+        self._routes.set(prefix, route)
+        return RouteChange.ADDED
 
     def remove(self, prefix: Prefix) -> RouteChange:
-        if self._routes.pop(prefix, None) is None:
+        node = self._node_get((prefix.network << 6) | prefix.length)
+        if node is None or not node.has_value:
             return RouteChange.ABSENT
+        node.value = None
+        node.has_value = False
+        self._routes._count -= 1
         return RouteChange.REMOVED
 
     def routes(self) -> Iterator[RibRoute]:
+        """Snapshot iterator over routes in (network, length) order."""
         return iter(self._routes.values())
 
     def prefixes(self) -> Iterator[Prefix]:
-        return iter(self._routes)
+        """Snapshot iterator over prefixes in (network, length) order."""
+        return iter(self._routes.keys())
+
+    def covered(self, aggregate: Prefix) -> "list[RibRoute]":
+        """Routes whose prefix falls inside *aggregate* (exact match
+        included), in iteration order — answered from the covering
+        subtree alone, which is what makes aggregation scale."""
+        return [route for _prefix, route in self._routes.covered(aggregate)]
 
     def fib_view(self) -> "list[tuple[Prefix, object]]":
         """Deterministic (prefix, next_hop) snapshot, sorted by prefix —
         the view the simulation sanitizer diffs against the FIB after
-        quiescence (RIB/FIB agreement invariant)."""
-        return sorted(
+        quiescence (RIB/FIB agreement invariant). Trie iteration order
+        is already the sort order, so this is a single pass."""
+        return [
             (route.prefix, route.attributes.next_hop)
             for route in self._routes.values()
-        )
+        ]
 
 
 class AdjRibOut:
@@ -141,7 +208,8 @@ class AdjRibOut:
 
     def __init__(self, peer_id: str):
         self.peer_id = peer_id
-        self._advertised: dict[Prefix, PathAttributes] = {}
+        self._advertised = PrefixTrieMap()
+        self._node_get = self._advertised._index.get
         self._pending_announce: dict[Prefix, PathAttributes] = {}
         self._pending_withdraw: set[Prefix] = set()
 
@@ -149,19 +217,30 @@ class AdjRibOut:
         return len(self._advertised)
 
     def advertised(self, prefix: Prefix) -> PathAttributes | None:
-        return self._advertised.get(prefix)
+        node = self._node_get((prefix.network << 6) | prefix.length)
+        if node is not None and node.has_value:
+            return node.value
+        return None
 
     def stage(self, prefix: Prefix, attributes: PathAttributes) -> RouteChange:
-        existing = self._advertised.get(prefix)
-        if existing == attributes and prefix not in self._pending_withdraw:
-            return RouteChange.UNCHANGED
-        self._advertised[prefix] = attributes
+        node = self._node_get((prefix.network << 6) | prefix.length)
+        if node is not None and node.has_value:
+            existing = node.value
+            if (
+                existing is attributes or existing == attributes
+            ) and prefix not in self._pending_withdraw:
+                return RouteChange.UNCHANGED
+            node.value = attributes
+            change = RouteChange.REPLACED
+        else:
+            self._advertised.set(prefix, attributes)
+            change = RouteChange.ADDED
         self._pending_announce[prefix] = attributes
         self._pending_withdraw.discard(prefix)
-        return RouteChange.ADDED if existing is None else RouteChange.REPLACED
+        return change
 
     def stage_withdraw(self, prefix: Prefix) -> RouteChange:
-        if self._advertised.pop(prefix, None) is None:
+        if self._advertised.delete(prefix) is None:
             self._pending_announce.pop(prefix, None)
             return RouteChange.ABSENT
         self._pending_announce.pop(prefix, None)

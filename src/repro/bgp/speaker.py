@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterator, Protocol
 
-from repro.bgp.attributes import PathAttributes, WellKnownCommunity
+from repro.bgp.attributes import PathAttributes, WellKnownCommunity, intern_attributes
 from repro.bgp.damping import DampingConfig, RouteDamper
 from repro.bgp.decision import Candidate, DecisionProcess, PeerInfo
 from repro.bgp.errors import BgpError
@@ -454,7 +454,12 @@ class BgpSpeaker:
                 if peer.adj_rib_in.withdraw(prefix) is RouteChange.REMOVED:
                     self._run_decision(prefix)
                 continue
+            # Interning here makes every downstream equality check —
+            # Adj-RIB-In no-op detection, decision ties, Adj-RIB-Out
+            # staging — a pointer comparison in the common case.
             imported = policy.apply(prefix, attrs)
+            if imported is not None:
+                imported = intern_attributes(imported)
             if imported is None:
                 # Rejected: an existing route from this peer must go away.
                 self.audit.policy_filtered += 1
@@ -569,7 +574,10 @@ class BgpSpeaker:
             exported = exported.with_next_hop(self.config.local_address)
             # LOCAL_PREF is iBGP-only: strip on eBGP export (§5.1.5).
             exported = replace(exported, local_pref=None)
-        return exported
+        # Interned so repeated exports of the same path collapse to one
+        # flyweight: Adj-RIB-Out no-op staging and flush_updates'
+        # attribute grouping both become identity hits.
+        return intern_attributes(exported)
 
     def _stage_announce_to_peers(self, route: RibRoute) -> None:
         if self._suppressed_by_aggregate(route.prefix):
@@ -652,7 +660,10 @@ class BgpSpeaker:
         announce, withdraw = peer.adj_rib_out.take_pending()
 
         packets: list[bytes] = []
-        withdrawals = sorted(withdraw)
+        # Key-based sort: one (network, length) tuple per element beats
+        # Prefix.__lt__'s two tuples per comparison; same order.
+        sort_key = lambda p: (p.network, p.length)  # noqa: E731
+        withdrawals = sorted(withdraw, key=sort_key)
         for start in range(0, len(withdrawals), limit):
             chunk = tuple(withdrawals[start : start + limit])
             packets.append(self._emit(peer, UpdateMessage(withdrawn=chunk)))
@@ -661,7 +672,7 @@ class BgpSpeaker:
         for prefix, attrs in announce.items():
             by_attrs.setdefault(attrs, []).append(prefix)
         for attrs, prefixes in by_attrs.items():
-            prefixes.sort()
+            prefixes.sort(key=sort_key)
             for start in range(0, len(prefixes), limit):
                 chunk = tuple(prefixes[start : start + limit])
                 packets.append(
@@ -702,10 +713,12 @@ class BgpSpeaker:
             self.withdraw_local(aggregate)
 
     def _contributors(self, aggregate: Prefix) -> list[Prefix]:
+        # Subtree query on the Loc-RIB trie: proportional to the number
+        # of covered routes, not the table size.
         return [
-            prefix
-            for prefix in self.loc_rib.prefixes()
-            if aggregate.covers(prefix) and prefix.length > aggregate.length
+            route.prefix
+            for route in self.loc_rib.covered(aggregate)
+            if route.prefix.length > aggregate.length
         ]
 
     def _refresh_covering_aggregates(self, prefix: Prefix) -> None:
@@ -766,7 +779,7 @@ class BgpSpeaker:
             attributes = PathAttributes(next_hop=self.config.local_address)
         elif attributes.next_hop is None:
             attributes = attributes.with_next_hop(self.config.local_address)
-        self._local_routes[prefix] = attributes
+        self._local_routes[prefix] = intern_attributes(attributes)
         self._run_decision(prefix)
 
     def withdraw_local(self, prefix: Prefix) -> None:

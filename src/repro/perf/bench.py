@@ -1,0 +1,298 @@
+"""The ``bgpbench perf`` microbenchmark harness.
+
+This is the one corner of ``src/repro`` that is *deliberately*
+nondeterministic: it reads the real wall clock to measure how fast the
+hot paths run on this machine. Results never feed the simulation or
+the golden gate — they go to ``BENCH_*.json`` and the perf budget gate
+(:mod:`repro.perf.gate`), which compares against machine-calibrated
+budgets with generous tolerance.
+
+Workload pairs are measured by the same loop over identical inputs:
+
+* ``update_decode`` vs ``update_decode_legacy`` — zero-copy framing +
+  memoized attribute decode against the frozen pre-optimization codec
+  (:mod:`repro.bgp.legacy_codec`);
+* ``rib_churn`` vs ``rib_churn_dict`` — trie-backed RIBs fed interned
+  flyweights (what the optimized decode layer produces) against the
+  retained dict reference fed fresh equal attribute objects (what the
+  legacy decoder produced);
+* ``decision_process`` and ``end_to_end`` — absolute throughput of the
+  decision process and of the full speaker pipeline.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from dataclasses import dataclass
+
+from repro.bgp import legacy_codec
+from repro.bgp.attributes import clear_codec_caches, codec_cache_stats, intern_attributes
+from repro.bgp.decision import DecisionProcess
+from repro.bgp.messages import (
+    KeepaliveMessage,
+    OpenMessage,
+    UpdateMessage,
+    clear_prefix_cache,
+    iter_messages,
+)
+from repro.bgp.rib import AdjRibIn, LocRib, RibRoute
+from repro.bgp.speaker import BgpSpeaker, PeerConfig, SpeakerConfig
+from repro.net.addr import IPv4Address
+from repro.perf.reference import DictAdjRibIn, DictLocRib
+from repro.perf.workloads import (
+    LOCAL_ASN,
+    PEER_ADDR,
+    PEER_ASN,
+    RIB_PEER,
+    RibOp,
+    build_candidate_sets,
+    build_decode_stream,
+    build_end_to_end_stream,
+    build_rib_ops,
+)
+
+__all__ = ["BenchResult", "run_suite", "SIZES"]
+
+#: Workload sizing. ``quick`` is the CI smoke profile; ``full`` is what
+#: blessed BENCH_8.json numbers are measured with.
+SIZES = {
+    "full": {
+        "decode_table": 1500,
+        "decode_passes": 10,
+        "rib_table": 1500,
+        "rib_rounds": 4,
+        "decision_table": 800,
+        "decision_repeats": 6,
+        "e2e_table": 800,
+        "e2e_rounds": 4,
+    },
+    "quick": {
+        "decode_table": 300,
+        "decode_passes": 4,
+        "rib_table": 300,
+        "rib_rounds": 2,
+        "decision_table": 150,
+        "decision_repeats": 2,
+        "e2e_table": 200,
+        "e2e_rounds": 2,
+    },
+}
+
+
+@dataclass(frozen=True, slots=True)
+class BenchResult:
+    """One timed workload: operation count and elapsed wall seconds."""
+
+    workload: str
+    ops: int
+    wall_s: float
+
+    @property
+    def ops_per_s(self) -> float:
+        return self.ops / self.wall_s if self.wall_s > 0 else float("inf")
+
+    def to_json(self) -> "dict[str, object]":
+        return {
+            "ops": self.ops,
+            "wall_s": round(self.wall_s, 6),
+            "ops_per_s": round(self.ops_per_s, 2),
+            "py_version": platform.python_version(),
+            "platform": f"{platform.system()}-{platform.machine()}",
+        }
+
+
+def _time(workload: str, ops: int, run) -> BenchResult:
+    """Time one run of *run* (a zero-arg callable) as *ops* operations."""
+    start = time.perf_counter()  # repro: noqa[RPR001]
+    run()
+    elapsed = time.perf_counter() - start  # repro: noqa[RPR001]
+    return BenchResult(workload, ops, elapsed)
+
+
+# -- UPDATE decode ----------------------------------------------------------
+
+
+def _count_messages(stream: bytes) -> int:
+    return sum(1 for _ in iter_messages(stream))
+
+
+def bench_update_decode(stream: bytes) -> BenchResult:
+    """Optimized path: O(n) framing, batched NLRI, memoized attributes."""
+    clear_codec_caches()
+    clear_prefix_cache()
+    ops = _count_messages(stream)
+
+    def run() -> None:
+        for _message, _length in iter_messages(stream):
+            pass
+
+    # Warm pass already happened during the count; timed pass sees the
+    # caches a long-lived session would have.
+    return _time("update_decode", ops, run)
+
+
+def bench_update_decode_legacy(stream: bytes) -> BenchResult:
+    """Baseline: the frozen pre-optimization decoder, same stream."""
+    ops = _count_messages(stream)
+
+    def run() -> None:
+        for _message, _length in legacy_codec.legacy_iter_messages(stream):
+            pass
+
+    return _time("update_decode_legacy", ops, run)
+
+
+# -- RIB churn --------------------------------------------------------------
+
+
+def _replay_ops(adj, loc, ops: "list[RibOp]") -> None:
+    """Drive the speaker's RIB maintenance sequence: neighbour update →
+    best-route install, plus aggregate-contributor refreshes."""
+    adj_update = adj.update
+    adj_withdraw = adj.withdraw
+    set_best = loc.set_best
+    remove = loc.remove
+    covered = loc.covered
+    for op in ops:
+        kind = op.kind
+        if kind == "update":
+            adj_update(op.prefix, op.attributes)
+            set_best(op.route)
+        elif kind == "withdraw":
+            adj_withdraw(op.prefix)
+            remove(op.prefix)
+        else:
+            covered(op.prefix)
+    # Consume one full snapshot — iteration is part of the contract.
+    for _ in adj.items():
+        pass
+    for _ in loc.routes():
+        pass
+
+
+def _intern_ops(ops: "list[RibOp]") -> "list[RibOp]":
+    """What the optimized decode layer hands the speaker: equal
+    attribute sets collapsed to one flyweight (routes rebuilt to match)."""
+    out: list[RibOp] = []
+    for op in ops:
+        if op.attributes is None:
+            out.append(op)
+            continue
+        attrs = intern_attributes(op.attributes)
+        out.append(RibOp(op.kind, op.prefix, attrs, RibRoute(op.prefix, attrs, RIB_PEER)))
+    return out
+
+
+def bench_rib_churn(ops: "list[RibOp]") -> BenchResult:
+    """Optimized path: trie RIBs fed interned attribute flyweights."""
+    interned = _intern_ops(ops)
+    adj, loc = AdjRibIn(RIB_PEER), LocRib()
+    return _time("rib_churn", len(ops), lambda: _replay_ops(adj, loc, interned))
+
+
+def bench_rib_churn_dict(ops: "list[RibOp]") -> BenchResult:
+    """Baseline: dict RIBs fed fresh equal attribute objects (what the
+    legacy decoder produced)."""
+    adj, loc = DictAdjRibIn(RIB_PEER), DictLocRib()
+    return _time("rib_churn_dict", len(ops), lambda: _replay_ops(adj, loc, ops))
+
+
+# -- decision process -------------------------------------------------------
+
+
+def bench_decision(candidate_sets, repeats: int) -> BenchResult:
+    decision = DecisionProcess()
+
+    def run() -> None:
+        select = decision.select
+        for _ in range(repeats):
+            for candidates in candidate_sets:
+                select(candidates)
+
+    return _time("decision_process", len(candidate_sets) * repeats, run)
+
+
+# -- end-to-end speaker pipeline --------------------------------------------
+
+
+def _connected_speaker() -> BgpSpeaker:
+    speaker = BgpSpeaker(
+        SpeakerConfig(
+            asn=LOCAL_ASN,
+            bgp_identifier=IPv4Address.parse("9.9.9.9"),
+            local_address=IPv4Address.parse("10.0.0.254"),
+            hold_time=0.0,
+        )
+    )
+    speaker.add_peer(PeerConfig("in-peer", PEER_ASN, PEER_ADDR))
+    speaker.add_peer(
+        PeerConfig("out-peer", PEER_ASN + 1, IPv4Address.parse("10.0.0.2"))
+    )
+    for peer_id, identifier, asn in (
+        ("in-peer", "1.1.1.1", PEER_ASN),
+        ("out-peer", "2.2.2.2", PEER_ASN + 1),
+    ):
+        speaker.set_send_callback(peer_id, lambda data: None)
+        speaker.start_peer(peer_id)
+        speaker.transport_connected(peer_id)
+        speaker.receive_bytes(
+            peer_id, OpenMessage(asn, 0, IPv4Address.parse(identifier)).encode()
+        )
+        speaker.receive_bytes(peer_id, KeepaliveMessage().encode())
+    return speaker
+
+
+def bench_end_to_end(stream: bytes) -> BenchResult:
+    """Full pipeline: frame → decode → policy → RIBs → decision → FIB →
+    export, then flush the resulting UPDATEs toward the second peer."""
+    speaker = _connected_speaker()
+    ops = sum(
+        message.transaction_count()
+        for message, _length in iter_messages(stream)
+        if isinstance(message, UpdateMessage)
+    )
+
+    def run() -> None:
+        speaker.receive_bytes("in-peer", stream)
+        speaker.flush_updates("out-peer")
+
+    return _time("end_to_end", ops, run)
+
+
+# -- suite ------------------------------------------------------------------
+
+
+def run_suite(quick: bool = False) -> "dict[str, dict[str, object]]":
+    """Run every workload; returns the BENCH_*.json payload
+    (workload → {ops, wall_s, ops_per_s, py_version, platform})."""
+    sizes = SIZES["quick" if quick else "full"]
+    decode_stream = build_decode_stream(sizes["decode_table"], sizes["decode_passes"])
+    rib_ops = build_rib_ops(sizes["rib_table"], sizes["rib_rounds"])
+    candidate_sets = build_candidate_sets(sizes["decision_table"])
+    e2e_stream = build_end_to_end_stream(sizes["e2e_table"], sizes["e2e_rounds"])
+
+    results = [
+        bench_update_decode(decode_stream),
+        bench_update_decode_legacy(decode_stream),
+        bench_rib_churn(rib_ops),
+        bench_rib_churn_dict(rib_ops),
+        bench_decision(candidate_sets, sizes["decision_repeats"]),
+        bench_end_to_end(e2e_stream),
+    ]
+    return {result.workload: result.to_json() for result in results}
+
+
+def speedup(results: "dict[str, dict[str, object]]", fast: str, slow: str) -> float:
+    """ops/s ratio of *fast* over *slow*; 0.0 when either is missing."""
+    try:
+        fast_rate = float(results[fast]["ops_per_s"])  # type: ignore[arg-type]
+        slow_rate = float(results[slow]["ops_per_s"])  # type: ignore[arg-type]
+    except (KeyError, TypeError, ValueError):
+        return 0.0
+    return fast_rate / slow_rate if slow_rate > 0 else 0.0
+
+
+def cache_stats() -> "dict[str, int]":
+    """Codec cache counters accumulated across the suite run."""
+    return codec_cache_stats()

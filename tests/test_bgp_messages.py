@@ -12,6 +12,7 @@ from repro.bgp.messages import (
     NotificationMessage,
     OpenMessage,
     UpdateMessage,
+    clear_prefix_cache,
     decode_message,
     decode_nlri,
     encode_nlri,
@@ -225,3 +226,52 @@ class TestFraming:
     def test_marker_constant(self):
         assert MARKER == b"\xff" * 16
         assert len(MARKER) == 16
+
+    def test_bad_marker_reported_before_bad_length(self):
+        """The O(n) framer peeks the declared length to slice the
+        stream, but a corrupt marker must still win the error race —
+        RFC 4271 checks synchronization before the length field."""
+        wire = bytearray(KeepaliveMessage().encode())
+        wire[0] = 0  # marker corrupt
+        wire[16:18] = (5).to_bytes(2, "big")  # length also absurd (< header)
+        with pytest.raises(BgpError) as excinfo:
+            next(iter(iter_messages(bytes(wire))))
+        assert (
+            excinfo.value.notification.subcode
+            == HeaderSubcode.CONNECTION_NOT_SYNCHRONIZED
+        )
+
+    def test_iter_messages_matches_per_message_decode(self):
+        updates = [
+            UpdateMessage(attributes=ATTRS, nlri=(Prefix.parse(f"10.{i}.0.0/16"),))
+            for i in range(5)
+        ]
+        stream = b"".join(m.encode() for m in updates)
+        assert [m for m, _length in iter_messages(stream)] == updates
+
+
+class TestPrefixCache:
+    def test_repeat_decode_reuses_prefix_objects(self):
+        clear_prefix_cache()
+        wire = encode_nlri([Prefix.parse("192.0.2.0/24"), Prefix.parse("10.0.0.0/8")])
+        first = decode_nlri(wire)
+        second = decode_nlri(wire)
+        assert first == second
+        for a, b in zip(first, second):
+            assert a is b, "cached decode must return the interned Prefix"
+
+    def test_host_bits_rejected_every_time(self):
+        # The cache only holds valid prefixes, so the invalid encoding
+        # must raise on the second decode exactly as on the first.
+        clear_prefix_cache()
+        for _ in range(2):
+            with pytest.raises(BgpError):
+                decode_nlri(b"\x09\x0a\x40")
+
+    def test_clear_prefix_cache_resets_identity(self):
+        wire = encode_nlri([Prefix.parse("198.51.100.0/24")])
+        (first,) = decode_nlri(wire)
+        clear_prefix_cache()
+        (second,) = decode_nlri(wire)
+        assert first == second
+        assert first is not second

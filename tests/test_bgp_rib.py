@@ -163,3 +163,53 @@ class TestAdjRibOut:
         assert len(rib) == 2
         rib.stage_withdraw(P1)
         assert len(rib) == 1
+
+
+class TestSnapshotIterators:
+    """Iterators must be snapshots: mutating the RIB mid-iteration is
+    exactly what the speaker does when it withdraws routes while
+    walking an Adj-RIB-In during session teardown, and historically
+    raised ``RuntimeError: dictionary changed size during iteration``."""
+
+    def test_adj_rib_in_mutate_while_iterating(self):
+        rib = AdjRibIn("peer1")
+        rib.update(P1, A1)
+        rib.update(P2, A2)
+        seen = []
+        for prefix in rib.prefixes():
+            rib.withdraw(prefix)  # must not blow up the iteration
+            rib.update(Prefix(prefix.network + 256, prefix.length), A1)
+            seen.append(prefix)
+        assert seen == [P1, P2]
+
+        for prefix, _attrs in rib.items():
+            rib.withdraw(prefix)
+        assert len(rib) == 0
+
+    def test_loc_rib_mutate_while_iterating(self):
+        rib = LocRib()
+        rib.set_best(RibRoute(P1, A1, "peer1"))
+        rib.set_best(RibRoute(P2, A2, "peer1"))
+        seen = []
+        for route in rib.routes():
+            rib.remove(route.prefix)
+            seen.append(route.prefix)
+        assert seen == [P1, P2]
+        assert len(rib) == 0
+        for prefix in LocRib().prefixes():
+            raise AssertionError(f"empty RIB yielded {prefix}")
+
+    def test_iteration_order_is_network_then_length(self):
+        rib = AdjRibIn("peer1")
+        prefixes = [
+            Prefix.parse("10.0.0.0/8"),
+            Prefix.parse("10.0.0.0/16"),
+            Prefix.parse("10.0.0.0/24"),
+            Prefix.parse("9.0.0.0/8"),
+            Prefix.parse("192.0.2.0/24"),
+        ]
+        for prefix in reversed(prefixes):
+            rib.update(prefix, A1)
+        assert list(rib.prefixes()) == sorted(
+            prefixes, key=lambda p: (p.network, p.length)
+        )

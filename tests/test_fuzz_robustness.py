@@ -93,6 +93,31 @@ class TestMutatedValidMessages:
         # session if the header itself was malformed).
         assert speaker.peers[S1].fsm.state in State
 
+    @settings(max_examples=150, deadline=None)
+    @given(st.data())
+    def test_mutations_decode_identically_to_legacy(self, data):
+        """The zero-copy decoder and the frozen legacy decoder must
+        agree on corrupt input too: same messages or the same
+        NOTIFICATION (code, subcode, data) — the speaker's teardown
+        behaviour is a function of that taxonomy."""
+        from repro.bgp import legacy_codec
+        from repro.bgp.errors import BgpError
+        from repro.bgp.messages import decode_message
+
+        wire = bytearray(valid_update())
+        index = data.draw(st.integers(min_value=0, max_value=len(wire) - 1))
+        wire[index] = data.draw(st.integers(min_value=0, max_value=255))
+        wire = bytes(wire)
+
+        def outcome(decoder):
+            try:
+                return ("ok", decoder(wire))
+            except BgpError as error:
+                n = error.notification
+                return ("error", n.code, n.subcode, bytes(n.data))
+
+        assert outcome(decode_message) == outcome(legacy_codec.legacy_decode_message)
+
     @settings(max_examples=50, deadline=None)
     @given(st.integers(min_value=1, max_value=60), st.integers(min_value=1, max_value=60))
     def test_arbitrary_resegmentation_is_lossless(self, cut1, cut2):
