@@ -1,6 +1,6 @@
 """Correctness tooling that guards the benchmark's reproducibility.
 
-Two prongs (see docs/ANALYSIS.md):
+Three prongs (see docs/ANALYSIS.md):
 
 * the **determinism linter** (:mod:`repro.analysis.linter` plus the rule
   registry in :mod:`repro.analysis.rules`) — static AST checks tuned to
@@ -9,19 +9,27 @@ Two prongs (see docs/ANALYSIS.md):
   default arguments, ``math.fsum`` for float aggregation, and
   ``to_jsonable`` completeness for dataclasses crossing the grid
   process boundary;
+* the **flow analysis** (:mod:`repro.analysis.flow`) — a whole-program
+  pass over a project-wide call graph: interprocedural nondeterminism
+  taint (sources laundered through helpers into schedulers/hashes,
+  RPR101) and a shared-state census (module globals mutated on worker
+  process paths, identity-keyed caches, unpicklable boundary payloads,
+  RPR102–104), gated through a committed baseline and exportable as
+  SARIF;
 * the **simulation sanitizer** (:mod:`repro.analysis.sanitizer`) — a
   checked mode that observes a live :class:`repro.sim.engine.Simulator`
   and asserts runtime invariants every event (monotonic clock, stable
   tie-breaking, heap integrity, prefix conservation) plus RIB/FIB
   agreement after quiescence.
 
-Both are exposed on the command line as ``bgpbench lint`` and
-``bgpbench check --sanitize``.
+Exposed on the command line as ``bgpbench lint``, ``bgpbench lint
+--flow``, and ``bgpbench check --sanitize``.
 """
 
 from repro.analysis.linter import (
     LintReport,
     lint_paths,
+    noqa_map,
     render_json,
     render_text,
 )
@@ -37,6 +45,7 @@ __all__ = [
     "all_rules",
     "get_rule",
     "lint_paths",
+    "noqa_map",
     "render_json",
     "render_text",
 ]

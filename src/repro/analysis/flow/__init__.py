@@ -1,0 +1,183 @@
+"""`repro.analysis.flow`: whole-program determinism dataflow and
+shared-state race analysis.
+
+Where the per-module linter (:mod:`repro.analysis.linter`, RPR001–007)
+checks single statements, this package builds a project-wide call graph
+(:mod:`~repro.analysis.flow.callgraph`), runs an interprocedural
+nondeterminism taint pass (:mod:`~repro.analysis.flow.taint`, RPR101)
+and a shared-state census (:mod:`~repro.analysis.flow.census`,
+RPR102–104), filters the findings through the same ``# repro:
+noqa[...]`` machinery plus a committed baseline
+(:mod:`~repro.analysis.flow.baseline`), and exports SARIF
+(:mod:`~repro.analysis.flow.sarif`) for PR annotation. Entry point:
+``bgpbench lint --flow`` (see docs/ANALYSIS.md).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.flow.baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    finding_key,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.flow.callgraph import ProjectGraph
+from repro.analysis.flow.census import check_census
+from repro.analysis.flow.rules import FLOW_RULES, flow_rule_ids
+from repro.analysis.flow.sarif import render_sarif
+from repro.analysis.flow.taint import check_taint
+from repro.analysis.linter import is_suppressed, iter_python_files, noqa_map
+from repro.analysis.rules import Finding
+
+__all__ = [
+    "FLOW_RULES",
+    "DEFAULT_BASELINE",
+    "FlowReport",
+    "ProjectGraph",
+    "analyze_paths",
+    "finding_key",
+    "flow_rule_ids",
+    "load_baseline",
+    "render_flow_json",
+    "render_flow_text",
+    "render_sarif",
+    "save_baseline",
+]
+
+
+@dataclass(slots=True)
+class FlowReport:
+    """Everything one flow-analysis run produced.
+
+    ``findings`` holds only *new* (unbaselined, unsuppressed) findings —
+    the set CI gates on; ``all_findings`` additionally carries the
+    baselined ones (what ``--update-baseline`` pins and SARIF exports).
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    all_findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    functions_analyzed: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    stale_baseline: list[str] = field(default_factory=list)
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return counts
+
+    def to_jsonable(self) -> dict[str, object]:
+        return {
+            "files_scanned": self.files_scanned,
+            "functions_analyzed": self.functions_analyzed,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "stale_baseline": list(self.stale_baseline),
+            "parse_errors": list(self.parse_errors),
+            "counts_by_rule": self.counts_by_rule(),
+            "findings": [finding.to_jsonable() for finding in self.findings],
+            "ok": self.ok,
+        }
+
+
+def analyze_paths(
+    paths: "Iterable[Path | str] | None" = None,
+    baseline_path: "Path | str | None" = None,
+    select: "Iterable[str] | None" = None,
+) -> FlowReport:
+    """Run the whole-program pass over *paths* (default: the installed
+    ``repro`` package) and filter through noqa + the baseline.
+
+    *select* restricts to a subset of RPR10x rule ids. *baseline_path*
+    is only applied when the file exists — a missing baseline means
+    every finding is new.
+    """
+    if paths is None:
+        import repro
+
+        paths = [Path(repro.__file__).resolve().parent]
+    if select is not None:
+        unknown = set(select) - set(FLOW_RULES)
+        if unknown:
+            raise ValueError(f"unknown flow rule ids: {sorted(unknown)}")
+
+    files = list(iter_python_files(Path(p) for p in paths))
+    graph = ProjectGraph.build(files)
+    noqa_by_module = {
+        name: noqa_map(info.source) for name, info in graph.modules.items()
+    }
+
+    raw = check_taint(graph, noqa_by_module) + check_census(graph, noqa_by_module)
+    if select is not None:
+        wanted = set(select)
+        raw = [finding for finding in raw if finding.rule_id in wanted]
+
+    noqa_by_path = {info.path: noqa_by_module[name] for name, info in graph.modules.items()}
+    kept: list[Finding] = []
+    suppressed = 0
+    seen: set[tuple] = set()
+    for finding in raw:
+        marker = (finding.path, finding.line, finding.rule_id, finding.message)
+        if marker in seen:
+            continue
+        seen.add(marker)
+        if is_suppressed(finding, noqa_by_path.get(finding.path, {})):
+            suppressed += 1
+            continue
+        kept.append(finding)
+    kept.sort()
+
+    baseline = None
+    if baseline_path is not None and Path(baseline_path).exists():
+        baseline = load_baseline(baseline_path)
+    new, baselined, stale = apply_baseline(kept, baseline)
+
+    return FlowReport(
+        findings=new,
+        all_findings=kept,
+        files_scanned=len(files),
+        functions_analyzed=len(graph.functions),
+        suppressed=suppressed,
+        baselined=baselined,
+        stale_baseline=stale,
+        parse_errors=list(graph.parse_errors),
+    )
+
+
+def render_flow_text(report: FlowReport) -> str:
+    """Human-readable diagnostics plus a one-line summary."""
+    lines = [finding.render() for finding in report.findings]
+    lines.extend(f"parse error: {message}" for message in report.parse_errors)
+    for key in report.stale_baseline:
+        lines.append(f"stale baseline entry (no longer produced): {key}")
+    counts = report.counts_by_rule()
+    breakdown = (
+        " (" + ", ".join(f"{rule_id}×{counts[rule_id]}" for rule_id in sorted(counts)) + ")"
+        if counts
+        else ""
+    )
+    lines.append(
+        f"{len(report.findings)} new finding(s){breakdown} in "
+        f"{report.files_scanned} file(s) / {report.functions_analyzed} "
+        f"function(s), {report.baselined} baselined, "
+        f"{report.suppressed} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_flow_json(report: FlowReport) -> str:
+    """Canonical machine-readable report (sorted keys, 2-space indent)."""
+    return json.dumps(report.to_jsonable(), sort_keys=True, indent=2)

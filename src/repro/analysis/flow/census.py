@@ -1,0 +1,476 @@
+"""Shared-state census: module globals, their mutators, and the worker
+path (RPR102–RPR104).
+
+The grid already runs cells in separate processes, and ROADMAP item 2
+shards *routers within one scenario* across processes. Both make every
+module-level mutable binding a potential divergence hazard: a cache
+warmed in one worker is cold in the next, per-process ``id()``/salted
+``hash()`` keys differ between shards, and anything unpicklable dies at
+the ``spawn`` boundary. The census enumerates:
+
+* every module-level mutable binding (dict/list/set/bytearray and the
+  collections constructors),
+* every function that mutates one (subscript stores, mutating method
+  calls, ``global`` rebinding), and
+* whether that function is reachable from a process-boundary entry
+  point (:data:`~repro.analysis.flow.callgraph.WORKER_ENTRY_NAMES`)
+  over the call graph, virtual dispatch included.
+
+A binding whose *definition line* carries ``# repro: noqa[RPR102]``
+is exempt wholesale (its fork-safety contract is documented at the
+definition); individual mutation sites suppress per line as usual.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.analysis.flow.callgraph import FunctionInfo, ModuleInfo, ProjectGraph
+from repro.analysis.flow.rules import FLOW_RULES
+from repro.analysis.rules import Finding, resolve_dotted
+
+#: Zero-or-more-argument constructors producing a fresh mutable object.
+MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter", "OrderedDict"}
+)
+
+#: Method calls that mutate their receiver in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "extendleft",
+        "insert",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+#: Key helpers whose result depends on interpreter state, not content.
+FORBIDDEN_KEY_HELPERS = frozenset({"id", "hash", "iter", "next"})
+
+#: Method names that ship an object to another process.
+BOUNDARY_SEND_METHODS = frozenset({"send", "put", "put_nowait"})
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalBinding:
+    """One module-level mutable binding."""
+
+    name: str
+    module: str
+    path: str
+    line: int
+    kind: str  # "dict", "list", "set", ...
+
+
+@dataclass(frozen=True, slots=True)
+class MutationSite:
+    """One place a function writes a module-level mutable binding."""
+
+    binding: GlobalBinding
+    function: str  # qualname
+    line: int
+    col: int
+    how: str  # e.g. "subscript store", ".append()", "global rebind"
+
+
+def _mutable_kind(node: ast.AST) -> "str | None":
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call):
+        target = node.func
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name in MUTABLE_CONSTRUCTORS:
+            return name
+    return None
+
+
+def module_globals(info: ModuleInfo) -> dict[str, GlobalBinding]:
+    """Every module-level mutable binding in *info*."""
+    out: dict[str, GlobalBinding] = {}
+    for stmt in info.tree.body:
+        targets: list[ast.expr] = []
+        value: "ast.AST | None" = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        kind = _mutable_kind(value)
+        if kind is None:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                out[target.id] = GlobalBinding(
+                    name=target.id,
+                    module=info.name,
+                    path=info.path,
+                    line=stmt.lineno,
+                    kind=kind,
+                )
+    return out
+
+
+def _declared_globals(node: ast.AST) -> set[str]:
+    return {
+        name
+        for stmt in ast.walk(node)
+        if isinstance(stmt, ast.Global)
+        for name in stmt.names
+    }
+
+
+def _local_aliases(
+    function: FunctionInfo, bindings: Mapping[str, GlobalBinding]
+) -> dict[str, GlobalBinding]:
+    """Local names that are plain aliases of a module-level binding —
+    ``cache = _decode_cache_strict if strict else _decode_cache_lax``
+    makes ``cache`` an alias of both (reported as the first)."""
+    out: dict[str, GlobalBinding] = {}
+    for node in ast.walk(function.node):
+        if not (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            continue
+        sources: list[ast.expr] = [node.value]
+        if isinstance(node.value, ast.IfExp):
+            sources = [node.value.body, node.value.orelse]
+        for source in sources:
+            if isinstance(source, ast.Name) and source.id in bindings:
+                out[node.targets[0].id] = bindings[source.id]
+                break
+    return out
+
+
+def iter_mutations(
+    function: FunctionInfo, bindings: Mapping[str, GlobalBinding]
+) -> Iterator[MutationSite]:
+    """Every write *function* performs against a module-level binding,
+    directly or through a local alias."""
+    rebindable = _declared_globals(function.node)
+    bindings = {**_local_aliases(function, bindings), **bindings}
+    for node in ast.walk(function.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in bindings
+                ):
+                    yield MutationSite(
+                        bindings[target.value.id],
+                        function.qualname,
+                        node.lineno,
+                        node.col_offset,
+                        "subscript store",
+                    )
+                elif (
+                    isinstance(target, ast.Name)
+                    and target.id in bindings
+                    and target.id in rebindable
+                ):
+                    yield MutationSite(
+                        bindings[target.id],
+                        function.qualname,
+                        node.lineno,
+                        node.col_offset,
+                        "global rebind",
+                    )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in bindings
+                ):
+                    yield MutationSite(
+                        bindings[target.value.id],
+                        function.qualname,
+                        node.lineno,
+                        node.col_offset,
+                        "subscript delete",
+                    )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATING_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in bindings
+        ):
+            yield MutationSite(
+                bindings[node.func.value.id],
+                function.qualname,
+                node.lineno,
+                node.col_offset,
+                f".{node.func.attr}()",
+            )
+
+
+def _binding_exempt(
+    binding: GlobalBinding,
+    noqa_by_module: Mapping[str, Mapping[int, "frozenset[str]"]],
+) -> bool:
+    ids = noqa_by_module.get(binding.module, {}).get(binding.line)
+    if ids is None:
+        return False
+    return not ids or "RPR102" in ids
+
+
+def check_worker_mutations(
+    graph: ProjectGraph,
+    noqa_by_module: Mapping[str, Mapping[int, "frozenset[str]"]],
+) -> list[Finding]:
+    """RPR102: module globals written on a worker process path."""
+    rule = FLOW_RULES["RPR102"]
+    entries = graph.entry_points()
+    reachable = graph.reachable_from(entries)
+    findings: list[Finding] = []
+    for module in graph.modules.values():
+        bindings = module_globals(module)
+        if not bindings:
+            continue
+        for qualname in module.functions:
+            entry = reachable.get(qualname)
+            if entry is None:
+                continue
+            function = graph.functions[qualname]
+            for site in iter_mutations(function, bindings):
+                if _binding_exempt(site.binding, noqa_by_module):
+                    continue
+                entry_name = graph.functions[entry].bare_name
+                findings.append(
+                    Finding(
+                        path=function.path,
+                        line=site.line,
+                        col=site.col,
+                        rule_id=rule.rule_id,
+                        message=(
+                            f"module global '{site.binding.name}' "
+                            f"({site.binding.kind}) is mutated ({site.how}) in "
+                            f"{qualname}, reachable from worker entry point "
+                            f"{entry_name}(); per-process state diverges across "
+                            f"shards — document the fork-safety contract "
+                            f"(# repro: noqa[RPR102]) or thread the state "
+                            f"through the cell"
+                        ),
+                        severity=rule.severity,
+                    )
+                )
+    return findings
+
+
+def _contains_forbidden_key(expr: ast.AST) -> "str | None":
+    for node in ast.walk(expr):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in FORBIDDEN_KEY_HELPERS
+        ):
+            return node.func.id
+    return None
+
+
+def check_cache_keys(
+    graph: ProjectGraph,
+    noqa_by_module: Mapping[str, Mapping[int, "frozenset[str]"]],
+) -> list[Finding]:
+    """RPR103: module-level caches keyed on identity/iteration order."""
+    rule = FLOW_RULES["RPR103"]
+    findings: list[Finding] = []
+
+    def report(function: FunctionInfo, binding: GlobalBinding, node, helper: str):
+        findings.append(
+            Finding(
+                path=function.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id=rule.rule_id,
+                message=(
+                    f"cache '{binding.name}' in {function.module} is keyed via "
+                    f"{helper}(...), which differs per process/allocation "
+                    f"(id, salted str hash, set order); key the cache on "
+                    f"content instead"
+                ),
+                severity=rule.severity,
+            )
+        )
+
+    for module in graph.modules.values():
+        bindings = {
+            name: binding
+            for name, binding in module_globals(module).items()
+            if binding.kind in ("dict", "defaultdict", "OrderedDict", "Counter")
+        }
+        if not bindings:
+            continue
+        for qualname in module.functions:
+            function = graph.functions[qualname]
+            visible = {**_local_aliases(function, bindings), **bindings}
+            for node in ast.walk(function.node):
+                if (
+                    isinstance(node, ast.Subscript)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in visible
+                ):
+                    helper = _contains_forbidden_key(node.slice)
+                    if helper is not None:
+                        report(function, visible[node.value.id], node, helper)
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("get", "setdefault", "pop")
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in visible
+                    and node.args
+                ):
+                    helper = _contains_forbidden_key(node.args[0])
+                    if helper is not None:
+                        report(function, visible[node.func.value.id], node, helper)
+                elif isinstance(node, ast.Compare) and any(
+                    isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
+                ):
+                    for comparator in node.comparators:
+                        if (
+                            isinstance(comparator, ast.Name)
+                            and comparator.id in visible
+                        ):
+                            helper = _contains_forbidden_key(node.left)
+                            if helper is not None:
+                                report(function, visible[comparator.id], node, helper)
+    return findings
+
+
+def _local_unpicklables(function: FunctionInfo) -> dict[str, str]:
+    """Names bound inside *function* to objects that cannot pickle:
+    lambdas, nested defs, generator expressions, open files, locks."""
+    out: dict[str, str] = {}
+    for node in ast.walk(function.node):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not function.node:
+                out[node.name] = "nested function"
+        elif isinstance(node, ast.Assign):
+            desc = _unpicklable_expr(node.value)
+            if desc is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        out[target.id] = desc
+    return out
+
+
+def _unpicklable_expr(node: ast.AST) -> "str | None":
+    if isinstance(node, ast.Lambda):
+        return "lambda"
+    if isinstance(node, ast.GeneratorExp):
+        return "generator expression"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id == "open":
+            return "open file handle"
+        if node.func.id in ("Lock", "RLock", "Condition", "Semaphore"):
+            return f"threading {node.func.id}"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in ("Lock", "RLock", "Condition", "Semaphore"):
+            return f"{node.func.attr} object"
+    return None
+
+
+def check_boundary_payloads(
+    graph: ProjectGraph,
+    noqa_by_module: Mapping[str, Mapping[int, "frozenset[str]"]],
+) -> list[Finding]:
+    """RPR104: unpicklable objects handed across a process boundary."""
+    rule = FLOW_RULES["RPR104"]
+    findings: list[Finding] = []
+
+    def report(function: FunctionInfo, node, what: str, how: str):
+        findings.append(
+            Finding(
+                path=function.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id=rule.rule_id,
+                message=(
+                    f"{what} crosses a process boundary via {how} in "
+                    f"{function.qualname}; it cannot pickle under the spawn "
+                    f"start method — pass a top-level function or plain data"
+                ),
+                severity=rule.severity,
+            )
+        )
+
+    for qualname, function in graph.functions.items():
+        info = graph.modules[function.module]
+        unpicklable = _local_unpicklables(function)
+
+        def payload_desc(expr: ast.AST) -> "str | None":
+            desc = _unpicklable_expr(expr)
+            if desc is not None:
+                return desc
+            if isinstance(expr, ast.Name) and expr.id in unpicklable:
+                return f"{unpicklable[expr.id]} '{expr.id}'"
+            return None
+
+        for node in ast.walk(function.node):
+            if not isinstance(node, ast.Call):
+                continue
+            # multiprocessing.Process(target=...) with a local callable.
+            dotted = (
+                resolve_dotted(node.func, info.aliases)
+                if isinstance(node.func, ast.Attribute)
+                else info.aliases.get(node.func.id)
+                if isinstance(node.func, ast.Name)
+                else None
+            )
+            is_process = (dotted or "").endswith("multiprocessing.Process") or (
+                isinstance(node.func, ast.Attribute) and node.func.attr == "Process"
+            )
+            if is_process:
+                for keyword in node.keywords:
+                    if keyword.arg == "target":
+                        desc = payload_desc(keyword.value)
+                        if desc is not None:
+                            report(function, node, desc, "Process(target=...)")
+            # conn.send(...) / queue.put(...) with an unpicklable payload.
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in BOUNDARY_SEND_METHODS
+            ):
+                for argument in node.args:
+                    desc = payload_desc(argument)
+                    if desc is not None:
+                        report(function, node, desc, f".{node.func.attr}()")
+    return findings
+
+
+def check_census(
+    graph: ProjectGraph,
+    noqa_by_module: Mapping[str, Mapping[int, "frozenset[str]"]],
+) -> list[Finding]:
+    """All census findings (RPR102 + RPR103 + RPR104)."""
+    return (
+        check_worker_mutations(graph, noqa_by_module)
+        + check_cache_keys(graph, noqa_by_module)
+        + check_boundary_payloads(graph, noqa_by_module)
+    )

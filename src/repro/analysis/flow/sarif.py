@@ -1,0 +1,94 @@
+"""SARIF 2.1.0 export of flow findings.
+
+One run, one tool (``repro-flow``), rule metadata from
+:data:`~repro.analysis.flow.rules.FLOW_RULES`. The output loads in any
+SARIF viewer and — uploaded from CI — annotates pull requests at the
+exact finding lines. Paths are normalised the same way the baseline
+normalises them, so annotations resolve inside the repository checkout.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.analysis.flow.baseline import normalize_path
+from repro.analysis.flow.rules import FLOW_RULES, FlowRule
+from repro.analysis.rules import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_descriptor(rule: FlowRule) -> dict:
+    return {
+        "id": rule.rule_id,
+        "name": rule.title.title().replace(" ", "").replace("-", ""),
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.rationale},
+        "defaultConfiguration": {"level": _LEVELS.get(rule.severity, "warning")},
+    }
+
+
+def _result(finding: Finding, rule_index: "dict[str, int]") -> dict:
+    result = {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f"src/{normalize_path(finding.path)}"
+                        if normalize_path(finding.path).startswith("repro/")
+                        else normalize_path(finding.path),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.rule_id in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule_id]
+    return result
+
+
+def to_sarif(findings: Sequence[Finding], rules: "Iterable[FlowRule] | None" = None) -> dict:
+    """The SARIF log as a JSON-ready dict."""
+    descriptors = [
+        _rule_descriptor(rule)
+        for rule in (rules if rules is not None else FLOW_RULES.values())
+    ]
+    descriptors.sort(key=lambda d: d["id"])
+    rule_index = {descriptor["id"]: index for index, descriptor in enumerate(descriptors)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-flow",
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": descriptors,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": [_result(finding, rule_index) for finding in findings],
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """Canonical SARIF text (sorted keys, 2-space indent)."""
+    return json.dumps(to_sarif(findings), indent=2, sort_keys=True)

@@ -1,0 +1,254 @@
+"""Interprocedural nondeterminism taint analysis (RPR101).
+
+Upgrades the local RPR001–003 pattern matches to whole-program rules:
+a *source* (wall clock, OS entropy, environment, pid, global PRNG) may
+be laundered through any number of helper calls before it reaches a
+*sink* (event scheduling, hashing, spec/result canonicalisation) — the
+exact shape the per-module linter cannot see.
+
+The analysis runs in two phases:
+
+1. **function taint** — a fixpoint over the project call graph marks
+   every function that may *return* a nondeterministic value: it either
+   contains a source expression itself or calls a tainted project
+   function. A source whose line carries ``# repro: noqa[RPR001]`` (or
+   RPR002/RPR101, or a blanket noqa) is a declared *sanitizer*: the
+   author asserts the value never feeds back into results (grid
+   supervision timing out real worker processes is the canonical case),
+   and taint does not root there.
+2. **flow-sensitive sink check** — inside every function, statements
+   are scanned in source order with a local taint set: a name assigned
+   from a tainted expression is tainted; a sink call with a tainted
+   argument is a finding. Reassignment does not clear taint (a cheap
+   over-approximation; suppress deliberate cases per line).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Mapping
+
+from repro.analysis.flow.callgraph import (
+    CallSite,
+    FunctionInfo,
+    ProjectGraph,
+    iter_statements,
+)
+from repro.analysis.flow.rules import FLOW_RULES
+from repro.analysis.rules import Finding, resolve_dotted
+from repro.analysis.rules.determinism import GLOBAL_RANDOM_FUNCS, WALL_CLOCK_CALLS
+
+#: Dotted external callables whose return value is ambient state.
+SOURCE_CALLS = WALL_CLOCK_CALLS | frozenset(
+    {
+        "os.getenv",
+        "os.getpid",
+        "os.getppid",
+        "os.environ.get",
+        "random.Random",  # unseeded handled by RPR002; flow treats any as source-ish only when unseeded
+    }
+)
+
+#: Attribute reads (not calls) that are ambient state.
+SOURCE_ATTRIBUTES = frozenset({"os.environ", "sys.argv"})
+
+#: noqa ids that sanction a source site (declare it observe-only).
+SANCTION_IDS = frozenset({"RPR001", "RPR002", "RPR101"})
+
+#: Unresolved method names that schedule events or submit work.
+SINK_METHOD_NAMES = frozenset({"schedule", "schedule_at", "schedule_after", "submit"})
+
+#: Dotted external callables that are sinks.
+SINK_CALLS = frozenset(
+    {
+        "heapq.heappush",
+        "heapq.heappushpop",
+        "heapq.heapreplace",
+        "json.dumps",
+    }
+)
+
+#: Bare names of project canonicalisation functions; feeding them a
+#: tainted value poisons cache keys, golden baselines, and wire blobs.
+SINK_PROJECT_NAMES = frozenset(
+    {"spec_json", "result_json", "to_jsonable", "canonical_json"}
+)
+
+
+def _is_sanctioned(
+    node: ast.AST, noqa: Mapping[int, "frozenset[str]"]
+) -> bool:
+    ids = noqa.get(getattr(node, "lineno", -1))
+    if ids is None:
+        return False
+    return not ids or bool(ids & SANCTION_IDS)
+
+
+def _source_witness(
+    site: CallSite, tainted: Mapping[str, str]
+) -> "str | None":
+    """The dotted source name this call site taints with, if any."""
+    if site.kind == "external":
+        dotted = site.target
+        if dotted in SOURCE_CALLS and dotted != "random.Random":
+            return dotted
+        if dotted == "random.Random" and not site.node.args and not site.node.keywords:
+            return "random.Random()"
+        if dotted.startswith("random.") and dotted[7:] in GLOBAL_RANDOM_FUNCS:
+            return dotted
+    elif site.kind == "project" and site.target in tainted:
+        return f"{site.target}() <- {tainted[site.target]}"
+    return None
+
+
+def _expression_taint(
+    expr: ast.AST,
+    graph: ProjectGraph,
+    function: FunctionInfo,
+    tainted: Mapping[str, str],
+    tainted_locals: Mapping[str, str],
+    noqa: Mapping[int, "frozenset[str]"],
+) -> "str | None":
+    """Witness string when *expr* may carry a nondeterministic value."""
+    info = graph.modules[function.module]
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            site = graph.resolve_call(node, info, function.class_name)
+            witness = _source_witness(site, tainted)
+            if witness is not None and not _is_sanctioned(node, noqa):
+                return witness
+        elif isinstance(node, ast.Attribute):
+            dotted = resolve_dotted(node, info.aliases)
+            if dotted in SOURCE_ATTRIBUTES and not _is_sanctioned(node, noqa):
+                return dotted
+        elif isinstance(node, ast.Name) and node.id in tainted_locals:
+            return tainted_locals[node.id]
+    return None
+
+
+def _direct_source_witness(
+    graph: ProjectGraph,
+    function: FunctionInfo,
+    noqa: Mapping[int, "frozenset[str]"],
+) -> "str | None":
+    """Does *function* read ambient state itself (unsanctioned)?"""
+    info = graph.modules[function.module]
+    for node in ast.walk(function.node):
+        if isinstance(node, ast.Call):
+            site = graph.resolve_call(node, info, function.class_name)
+            witness = _source_witness(site, {})
+            if witness is not None and not _is_sanctioned(node, noqa):
+                return witness
+        elif isinstance(node, ast.Attribute):
+            dotted = resolve_dotted(node, info.aliases)
+            if dotted in SOURCE_ATTRIBUTES and not _is_sanctioned(node, noqa):
+                return dotted
+    return None
+
+
+def tainted_functions(
+    graph: ProjectGraph, noqa_by_module: Mapping[str, Mapping[int, "frozenset[str]"]]
+) -> dict[str, str]:
+    """``{qualname: witness}`` for every function that may return a
+    nondeterministic value, by fixpoint over resolved project edges."""
+    tainted: dict[str, str] = {}
+    for qualname, function in graph.functions.items():
+        witness = _direct_source_witness(
+            graph, function, noqa_by_module.get(function.module, {})
+        )
+        if witness is not None:
+            tainted[qualname] = witness
+    # Propagate caller <- callee until stable. Virtual edges are
+    # excluded on purpose: name-match dispatch is far too coarse for
+    # taint (every ``.get`` would alias), while resolved edges keep the
+    # rule's positives actionable.
+    changed = True
+    while changed:
+        changed = False
+        for caller, callees in graph.calls.items():
+            if caller in tainted:
+                continue
+            for callee in callees:
+                if callee in tainted:
+                    tainted[caller] = f"{callee}() <- {tainted[callee]}"
+                    changed = True
+                    break
+    return tainted
+
+
+def _sink_description(site: CallSite) -> "str | None":
+    """Human name of the sink this call site is, if it is one."""
+    if site.kind == "external":
+        if site.target in SINK_CALLS:
+            return site.target
+        if site.target.startswith("hashlib."):
+            return site.target
+    elif site.kind == "project":
+        if site.target.rsplit(".", 1)[-1] in SINK_PROJECT_NAMES:
+            return f"{site.target}"
+    else:  # virtual
+        if site.target in SINK_METHOD_NAMES:
+            return f".{site.target}"
+        if site.target in SINK_PROJECT_NAMES:
+            return f".{site.target}"
+    return None
+
+
+def _assignment_targets(stmt: ast.stmt) -> Iterator[ast.expr]:
+    if isinstance(stmt, ast.Assign):
+        yield from stmt.targets
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)) and stmt.value is not None:
+        yield stmt.target
+
+
+def check_taint(
+    graph: ProjectGraph,
+    noqa_by_module: Mapping[str, Mapping[int, "frozenset[str]"]],
+) -> list[Finding]:
+    """Every RPR101 finding in the project."""
+    rule = FLOW_RULES["RPR101"]
+    tainted = tainted_functions(graph, noqa_by_module)
+    findings: list[Finding] = []
+    for qualname, function in graph.functions.items():
+        noqa = noqa_by_module.get(function.module, {})
+        tainted_locals: dict[str, str] = {}
+        info = graph.modules[function.module]
+        for stmt in iter_statements(function.node.body):
+            value = getattr(stmt, "value", None)
+            if value is not None:
+                witness = _expression_taint(
+                    value, graph, function, tainted, tainted_locals, noqa
+                )
+                if witness is not None:
+                    for target in _assignment_targets(stmt):
+                        if isinstance(target, ast.Name):
+                            tainted_locals[target.id] = witness
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                site = graph.resolve_call(node, info, function.class_name)
+                sink = _sink_description(site)
+                if sink is None:
+                    continue
+                arguments = list(node.args) + [kw.value for kw in node.keywords]
+                for argument in arguments:
+                    witness = _expression_taint(
+                        argument, graph, function, tainted, tainted_locals, noqa
+                    )
+                    if witness is not None:
+                        findings.append(
+                            Finding(
+                                path=function.path,
+                                line=node.lineno,
+                                col=node.col_offset,
+                                rule_id=rule.rule_id,
+                                message=(
+                                    f"nondeterministic value ({witness}) reaches "
+                                    f"sink {sink}() in {qualname}; results stop "
+                                    f"being a pure function of the cell spec"
+                                ),
+                                severity=rule.severity,
+                            )
+                        )
+                        break
+    return findings

@@ -10,11 +10,13 @@ report (consumed by the CI ``lint`` job).
 
 from __future__ import annotations
 
+import io
 import json
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.analysis.rules import Finding, ModuleContext, Rule, all_rules
 
@@ -69,8 +71,14 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
 
 
 def suppressed_ids(source_line: str) -> "frozenset[str] | None":
-    """Rule ids suppressed on this line; empty frozenset = suppress all;
-    None = no noqa comment."""
+    """Rule ids suppressed by the noqa text in *source_line*; empty
+    frozenset = suppress all; None = no noqa comment.
+
+    This is a pure text match — callers that have whole-module source
+    must use :func:`noqa_map` instead, which only honours noqa text
+    inside *real* comment tokens (a ``"# repro: noqa"`` string literal
+    does not suppress anything).
+    """
     match = NOQA_PATTERN.search(source_line)
     if match is None:
         return None
@@ -79,19 +87,51 @@ def suppressed_ids(source_line: str) -> "frozenset[str] | None":
     return frozenset(part.strip() for part in match.group(1).split(",") if part.strip())
 
 
+def noqa_map(source: str) -> "dict[int, frozenset[str]]":
+    """``{line: suppressed ids}`` for every real ``# repro: noqa``
+    comment in *source* (empty frozenset = suppress every rule).
+
+    Tokenize-based: a noqa marker inside a string literal — test
+    fixtures quoting the syntax, docstrings documenting it — is *not* a
+    suppression. Falls back to a conservative per-line regex scan only
+    when the module cannot be tokenized (callers run this after
+    ``ast.parse`` succeeded, so that path is effectively dead).
+    """
+    out: dict[int, frozenset[str]] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                ids = suppressed_ids(token.string)
+                if ids is not None:
+                    out[token.start[0]] = ids
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        out.clear()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            ids = suppressed_ids(line)
+            if ids is not None:
+                out[lineno] = ids
+    return out
+
+
+def is_suppressed(
+    finding: Finding, noqa: "Mapping[int, frozenset[str]]"
+) -> bool:
+    """Does the noqa comment on the finding's line cover its rule?"""
+    ids = noqa.get(finding.line)
+    return ids is not None and (not ids or finding.rule_id in ids)
+
+
 def lint_source(
     path: str, source: str, rules: "Sequence[Rule] | None" = None
 ) -> tuple[list[Finding], int]:
     """Lint one module's source; returns (kept findings, suppressed count)."""
     module = ModuleContext.parse(path, source)
-    lines = source.splitlines()
+    noqa = noqa_map(source)
     kept: list[Finding] = []
     suppressed = 0
     for rule in rules if rules is not None else all_rules():
         for finding in rule.check(module):
-            line_text = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
-            noqa = suppressed_ids(line_text)
-            if noqa is not None and (not noqa or finding.rule_id in noqa):
+            if is_suppressed(finding, noqa):
                 suppressed += 1
                 continue
             kept.append(finding)
@@ -155,11 +195,20 @@ def render_json(report: LintReport) -> str:
 
 
 def render_rule_list() -> str:
-    """``--list-rules``: every rule id, severity, title, and rationale."""
+    """``--list-rules``: every rule id, severity, title, and rationale —
+    the per-module rules first, then the whole-program flow rules."""
+    from repro.analysis.flow.rules import FLOW_RULES
+
     lines = []
     for rule in all_rules():
         lines.append(f"{rule.rule_id} [{rule.severity}] {rule.title}")
         rationale = (rule.__doc__ or "").strip()
         for doc_line in rationale.splitlines():
             lines.append(f"    {doc_line.strip()}")
+    for flow_rule in FLOW_RULES.values():
+        lines.append(
+            f"{flow_rule.rule_id} [{flow_rule.severity}] {flow_rule.title} "
+            f"(whole-program, via --flow)"
+        )
+        lines.append(f"    {flow_rule.rationale}")
     return "\n".join(lines)

@@ -35,6 +35,25 @@ from repro.bgp.messages import (
 )
 from repro.bgp.speaker import BgpSpeaker, PeerConfig, SpeakerConfig
 
+
+def reset_caches() -> None:
+    """Reset every codec-level cache in the package to a cold state.
+
+    Cache discipline: the attribute flyweight, decode memo, and prefix
+    flyweight are value-keyed pure memoization (warm vs cold never
+    changes results, only speed — the fork-safety contract documented
+    in :mod:`repro.bgp.attributes`), but tests that assert on hit/miss
+    telemetry or measure cold-path cost must start from a known state.
+    Call this in test setup instead of reaching for the per-module
+    ``clear_*`` helpers.
+    """
+    from repro.bgp.attributes import clear_codec_caches
+    from repro.bgp.messages import clear_prefix_cache
+
+    clear_codec_caches()
+    clear_prefix_cache()
+
+
 __all__ = [
     "Aggregator",
     "AsPath",
@@ -55,4 +74,5 @@ __all__ = [
     "UpdateMessage",
     "decode_message",
     "iter_messages",
+    "reset_caches",
 ]

@@ -519,6 +519,19 @@ def decode_attributes(data: bytes, require_mandatory: bool = True) -> PathAttrib
 # working set of real tables is far below the caps. Errors are never
 # cached — corrupt input re-raises through the full parse every time,
 # keeping the error taxonomy identical to the uncached path.
+#
+# Fork-safety contract (RPR102, see docs/ANALYSIS.md): these module
+# globals are *pure memoization* — every entry is keyed on value
+# (attribute-set equality, exact wire blob) and maps to a value that is
+# a deterministic function of its key. A worker process that forks with
+# a warm, cold, or differently-warmed cache computes byte-identical
+# results; only the hit/miss telemetry differs per process. That is why
+# the cache-insert lines below carry ``# repro: noqa[RPR102]`` while
+# the ``_cache_counters`` increments stay in the committed flow
+# baseline as accepted debt (to become per-worker and merged when the
+# parallel engine lands, ROADMAP item 2). Any new module global touched
+# on a worker path must either satisfy this same value-keyed contract
+# or be threaded through the cell spec.
 
 _INTERN_CAPACITY = 1 << 16
 _DECODE_CACHE_CAPACITY = 1 << 15
@@ -547,7 +560,7 @@ def intern_attributes(attrs: PathAttributes) -> PathAttributes:
         return canonical
     _cache_counters["intern_misses"] += 1
     if len(_interned) < _INTERN_CAPACITY:
-        _interned[attrs] = attrs
+        _interned[attrs] = attrs  # repro: noqa[RPR102] — value-keyed memo, fork-safe
     return attrs
 
 
@@ -568,7 +581,7 @@ def decode_attributes_cached(
     blob = bytes(data)
     attrs = intern_attributes(decode_attributes(blob, require_mandatory))
     if len(cache) < _DECODE_CACHE_CAPACITY:
-        cache[blob] = attrs
+        cache[blob] = attrs  # repro: noqa[RPR102] — value-keyed memo, fork-safe
     return attrs
 
 

@@ -61,7 +61,10 @@ def encode_nlri(prefixes: "list[Prefix] | tuple[Prefix, ...]") -> bytes:
 #: NLRI repeats heavily across a session (flap storms re-announce the
 #: same table), and a hit skips both the ``Prefix`` construction and
 #: its canonical-form validation. Bounded: when full, new prefixes are
-#: simply built uncached — behaviour stays deterministic.
+#: simply built uncached — behaviour stays deterministic. Fork-safety
+#: contract (RPR102): the cache is value-keyed pure memoization, so a
+#: worker process forking with any warmth computes identical prefixes;
+#: see the contract note in :mod:`repro.bgp.attributes`.
 _PREFIX_CACHE_CAPACITY = 1 << 17
 _prefix_cache: dict[int, Prefix] = {}
 
@@ -120,7 +123,7 @@ def _decode_nlri_range(data: bytes, offset: int, end: int) -> list[Prefix]:
                 )
             prefix = Prefix(network, length)
             if len(cache) < _PREFIX_CACHE_CAPACITY:
-                cache[key] = prefix
+                cache[key] = prefix  # repro: noqa[RPR102] — value-keyed memo, fork-safe
         append(prefix)
     return prefixes
 

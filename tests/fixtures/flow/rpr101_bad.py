@@ -1,0 +1,14 @@
+"""RPR101 bad: wall-clock jitter laundered through a helper into the
+event scheduler — the cross-function shape the per-module linter cannot
+see (it would flag the source line, but not the sink two calls away)."""
+
+import time
+
+
+def jitter():
+    return time.time() % 1.0
+
+
+def arm(sim):
+    delay = jitter()
+    sim.schedule(delay, "tick")

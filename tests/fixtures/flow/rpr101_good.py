@@ -1,0 +1,11 @@
+"""RPR101 good: jitter derived from the cell's seed — same call shape
+as the bad twin, but every value is a pure function of the spec."""
+
+
+def jitter(seed):
+    return (seed * 2654435761 % 1000) / 1000.0
+
+
+def arm(sim, seed):
+    delay = jitter(seed)
+    sim.schedule(delay, "tick")

@@ -1,0 +1,14 @@
+"""RPR102 bad: a module-level cache warmed on the worker path — the
+entry point is declared by bare name (``run_cell``), the mutation sits
+one call away, and per-process warmth diverges across shards."""
+
+_cache = {}
+
+
+def warm(key, value):
+    _cache[key] = value
+    return value
+
+
+def run_cell(spec):
+    return warm(spec, spec)

@@ -1,0 +1,8 @@
+"""RPR102 good: the cache lives inside the cell — every worker process
+builds its own, so there is no cross-shard state to diverge."""
+
+
+def run_cell(spec):
+    cache = {}
+    cache[spec] = spec
+    return cache[spec]

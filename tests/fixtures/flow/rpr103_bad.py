@@ -1,0 +1,11 @@
+"""RPR103 bad: a module-level memo keyed on ``id(obj)`` — identity is
+per-process and per-allocation, so two shards (or two runs) populate
+different keys for equal values."""
+
+_memo = {}
+
+
+def lookup(obj):
+    if id(obj) not in _memo:
+        _memo[id(obj)] = obj
+    return _memo[id(obj)]

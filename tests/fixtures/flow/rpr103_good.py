@@ -1,0 +1,14 @@
+"""RPR103 good: the memo is keyed on content — equal inputs hit the
+same entry in every process."""
+
+_memo = {}
+
+
+def expensive(key):
+    return key * 2
+
+
+def lookup(key):
+    if key not in _memo:
+        _memo[key] = expensive(key)
+    return _memo[key]

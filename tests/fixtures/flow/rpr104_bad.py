@@ -1,0 +1,13 @@
+"""RPR104 bad: a nested function as a Process target and a lambda down
+a Pipe — both die with a PicklingError under the spawn start method."""
+
+import multiprocessing
+
+
+def launch(conn):
+    def child():
+        return 1
+
+    worker = multiprocessing.Process(target=child)
+    worker.start()
+    conn.send(lambda result: result)

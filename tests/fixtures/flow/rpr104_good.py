@@ -1,0 +1,14 @@
+"""RPR104 good: a module-level function as the Process target and plain
+data down the Pipe — both pickle under any start method."""
+
+import multiprocessing
+
+
+def child_main(seed):
+    return seed + 1
+
+
+def launch(conn, seed):
+    worker = multiprocessing.Process(target=child_main, args=(seed,))
+    worker.start()
+    conn.send({"seed": seed})

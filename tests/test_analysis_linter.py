@@ -13,7 +13,7 @@ import pytest
 
 import repro
 from repro.analysis import lint_paths, render_json, render_text
-from repro.analysis.linter import lint_source, suppressed_ids
+from repro.analysis.linter import is_suppressed, lint_source, noqa_map, suppressed_ids
 from repro.analysis.rules import all_rules, get_rule, rule_ids
 from repro.experiments.runner import main as bgpbench
 
@@ -75,6 +75,51 @@ class TestSuppression:
 
     def test_line_without_noqa(self):
         assert suppressed_ids("now = time.time()") is None
+
+    def test_noqa_inside_string_literal_does_not_suppress(self):
+        # Regression: the old per-line regex treated noqa text inside a
+        # string literal as a suppression; only real comments count.
+        source = 'import time\nnow = (time.time(), "# repro: noqa")\n'
+        findings, suppressed = lint_source("t.py", source)
+        assert [f.rule_id for f in findings] == ["RPR001"]
+        assert suppressed == 0
+
+    def test_noqa_inside_docstring_does_not_suppress(self):
+        source = (
+            "import time\n"
+            "def f():\n"
+            '    "uses # repro: noqa[RPR001] syntax"\n'
+            "    return time.time()\n"
+        )
+        findings, _ = lint_source("t.py", source)
+        assert [f.rule_id for f in findings] == ["RPR001"]
+
+    def test_noqa_map_only_records_comment_tokens(self):
+        source = (
+            'text = "# repro: noqa"\n'
+            "x = 1  # repro: noqa\n"
+            "y = 2  # repro: noqa[RPR003]\n"
+        )
+        noqa = noqa_map(source)
+        assert set(noqa) == {2, 3}
+        assert noqa[2] == frozenset()
+        assert noqa[3] == frozenset({"RPR003"})
+
+    def test_noqa_map_falls_back_on_untokenizable_source(self):
+        # Unterminated string: tokenize raises, the per-line scan kicks in.
+        noqa = noqa_map('x = "unclosed\ny = 1  # repro: noqa\n')
+        assert 2 in noqa
+
+    def test_is_suppressed_matches_rule_and_line(self):
+        from repro.analysis.rules import Finding
+
+        finding = Finding(
+            path="t.py", line=3, col=0, rule_id="RPR001", message="m", severity="error"
+        )
+        assert is_suppressed(finding, {3: frozenset()})
+        assert is_suppressed(finding, {3: frozenset({"RPR001"})})
+        assert not is_suppressed(finding, {3: frozenset({"RPR002"})})
+        assert not is_suppressed(finding, {4: frozenset()})
 
 
 class TestPrintRule:
