@@ -1,6 +1,6 @@
 """Shared configuration for the benchmark suite.
 
-Each ``benchmarks/test_fig*.py`` / ``test_table3.py`` file regenerates
+Each ``benchmarks/paper/test_fig*.py`` / ``test_table3.py`` file regenerates
 one table or figure of the paper: it runs the corresponding experiment
 under pytest-benchmark timing, prints the measured rows/series next to
 the paper's values, and asserts the shape claims (who wins, orderings,
@@ -8,7 +8,7 @@ crossovers) hold.
 
 Run with::
 
-    pytest benchmarks/ --benchmark-only
+    pytest benchmarks/paper/ --benchmark-only
 """
 
 import pytest

@@ -595,9 +595,11 @@ def codec_cache_stats() -> "dict[str, int]":
 
 
 def clear_codec_caches() -> None:
-    """Reset the flyweight and decode caches (tests and benchmarks)."""
-    _interned.clear()
-    _decode_cache_strict.clear()
-    _decode_cache_lax.clear()
+    """Reset the flyweight and decode caches (tests, benchmarks, and
+    worker-process start — see the fork-safety contract in
+    docs/PERF.md: clearing *is* how workers begin cold)."""
+    _interned.clear()  # repro: noqa[RPR102] — cache reset, the contract itself
+    _decode_cache_strict.clear()  # repro: noqa[RPR102] — cache reset, the contract itself
+    _decode_cache_lax.clear()  # repro: noqa[RPR102] — cache reset, the contract itself
     for key in _cache_counters:
-        _cache_counters[key] = 0
+        _cache_counters[key] = 0  # repro: noqa[RPR102] — cache reset, the contract itself

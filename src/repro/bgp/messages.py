@@ -70,8 +70,9 @@ _prefix_cache: dict[int, Prefix] = {}
 
 
 def clear_prefix_cache() -> None:
-    """Reset the decoded-prefix flyweight cache (tests and benchmarks)."""
-    _prefix_cache.clear()
+    """Reset the decoded-prefix flyweight cache (tests, benchmarks, and
+    worker-process start — clearing is the fork-safety contract)."""
+    _prefix_cache.clear()  # repro: noqa[RPR102] — cache reset, the contract itself
 
 
 def _decode_nlri_range(data: bytes, offset: int, end: int) -> list[Prefix]:

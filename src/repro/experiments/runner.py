@@ -228,6 +228,10 @@ def build_parser() -> argparse.ArgumentParser:
     topo.add_argument("--platform", choices=sorted(PLATFORMS),
                       default="pentium3",
                       help="platform model for --measured routers")
+    topo.add_argument("--shards", type=int, default=1,
+                      help="run on the conservative parallel engine with this "
+                           "many shard processes (results are byte-identical "
+                           "to --shards 1; see docs/PARALLEL.md)")
     topo.add_argument("--sanitize", action="store_true",
                       help="run in checked mode (topology-wide sanitizer)")
     topo.add_argument("--telemetry", action="store_true",
@@ -326,6 +330,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write budgets derived from this run to --budgets "
              "(floors at measured/4; speedup ratios carried over)",
     )
+    perf.add_argument(
+        "--parallel", action="store_true",
+        help="run the parallel-engine speedup curves instead of the "
+             "hot-path suite (BENCH_10.json family; with --check, every "
+             "workload must project >= 2x at 4 shards)",
+    )
     return parser
 
 
@@ -348,6 +358,12 @@ def _add_pool_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--sanitize", action="store_true",
         help="run executed cells in checked mode (invariant sanitizer)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="run executed topology cells on the conservative parallel "
+             "engine with this many shard processes (byte-identical "
+             "results; scenario cells ignore it — see docs/PARALLEL.md)",
     )
     parser.add_argument(
         "--telemetry", action="store_true",
@@ -512,6 +528,7 @@ def _run_grid(args) -> int:
         chaos=_make_chaos(args),
         journal=_make_journal(args, policy),
         resume=args.resume,
+        shards=args.shards,
     )
     for cell_id, result in report.results.items():
         tps = result["transactions_per_second"]
@@ -570,7 +587,14 @@ def _run_topo(args) -> int:
     telemetry_dir = _telemetry_dir(args)
     if telemetry_dir is not None:
         args.telemetry_dir.mkdir(parents=True, exist_ok=True)
-    result = run_topo_cell(cell, sanitize=args.sanitize, telemetry_dir=telemetry_dir)
+    result = run_topo_cell(
+        cell,
+        sanitize=args.sanitize,
+        telemetry_dir=telemetry_dir,
+        shards=args.shards,
+    )
+    if args.shards > 1:
+        print(f"[parallel engine: {args.shards} shards]")
     print(
         f"{cell.cell_id}: {result['ases']} ASes, {result['links']} links, "
         f"origins {result['origin_ases']}"
@@ -649,6 +673,7 @@ def _run_regress(args) -> int:
         telemetry_dir=_telemetry_dir(args),
         policy=policy, chaos=_make_chaos(args),
         journal=_make_journal(args, policy), resume=args.resume,
+        shards=args.shards,
     )
     if not report.ok:
         # A partial run can neither be blessed nor meaningfully diffed:
@@ -749,11 +774,52 @@ def _run_check(args) -> int:
     return 0
 
 
+def _run_perf_parallel(args) -> int:
+    import json
+
+    from repro.parallel import bench
+
+    profile = "quick" if args.quick else "full"
+    print(f"parallel engine speedup curves ({profile} profile) ...")
+    payload = bench.run_parallel_suite(quick=args.quick)
+    cpus = payload["meta"]["cpus"]
+    print(f"  [machine has {cpus} cpu(s); speedup is measured wall, "
+          f"projected_speedup is the critical-path bound]")
+    for workload in sorted(payload["workloads"]):
+        data = payload["workloads"][workload]
+        print(f"  {workload} ({data['cell']}): serial {data['serial_wall_s']:.4f}s")
+        for point in data["curve"]:
+            print(
+                f"    shards {point['shards']:>2}  wall {point['wall_s']:>9.4f}s  "
+                f"speedup {point['speedup']:>6.2f}x  "
+                f"projected {point['projected_speedup']:>6.2f}x  "
+                f"({point['rounds']} rounds, "
+                f"{point['remote_messages']} cross-shard msgs)"
+            )
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"[written {args.output}]")
+    if args.check:
+        violations = bench.check_payload(payload)
+        if violations:
+            for violation in violations:
+                print(f"FAIL [parallel-scaling] {violation}")
+            return 1
+        print(
+            f"parallel gate: all workloads project >= "
+            f"{bench.PROJECTED_SPEEDUP_TARGET:g}x at 4 shards"
+        )
+    return 0
+
+
 def _run_perf(args) -> int:
     import json
 
     from repro.perf import bench, gate
 
+    if args.parallel:
+        return _run_perf_parallel(args)
     profile = "quick" if args.quick else "full"
     print(f"perf suite ({profile} profile) ...")
     results = bench.run_suite(quick=args.quick)

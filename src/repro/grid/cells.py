@@ -119,6 +119,8 @@ def run_cell(
     cell: GridCell,
     sanitize: bool = False,
     telemetry_dir: "str | None" = None,
+    shards: int = 1,
+    shard_chaos: "dict[int, object] | None" = None,
 ) -> dict[str, object]:
     """Execute one cell from scratch and return its JSON-ready result.
 
@@ -140,13 +142,24 @@ def run_cell(
     Topology cells (:class:`repro.topo.families.TopoCell`) dispatch to
     their own runner; everything downstream of this function (executor,
     cache, journal, golden gate) is duck-typed over the cell, so both
-    kinds flow through one grid.
+    kinds flow through one grid. ``shards > 1`` runs topology cells on
+    the conservative parallel engine (:mod:`repro.parallel`) — an
+    execution knob, not part of any cell spec, because results are
+    byte-identical either way. Scenario cells are single-router and
+    ignore it. *shard_chaos* injects faults into individual shard
+    processes (testing only).
     """
     if not isinstance(cell, GridCell):
         from repro.topo.families import TopoCell, run_topo_cell
 
         if isinstance(cell, TopoCell):
-            return run_topo_cell(cell, sanitize=sanitize, telemetry_dir=telemetry_dir)
+            return run_topo_cell(
+                cell,
+                sanitize=sanitize,
+                telemetry_dir=telemetry_dir,
+                shards=shards,
+                shard_chaos=shard_chaos,
+            )
         raise TypeError(f"unsupported grid cell type: {type(cell).__name__}")
     router = build_system(cell.platform)
     sanitizer = None

@@ -124,10 +124,23 @@ class GridReport:
 
 
 def _execute_cell(
-    cell: GridCell, sanitize: bool = False, telemetry_dir: "str | None" = None
+    cell: GridCell,
+    sanitize: bool = False,
+    telemetry_dir: "str | None" = None,
+    shards: int = 1,
 ) -> "tuple[str, dict]":
     """Worker entry point — top-level so it pickles under spawn too."""
-    return cell.cell_id, run_cell(cell, sanitize=sanitize, telemetry_dir=telemetry_dir)
+    return cell.cell_id, run_cell(
+        cell, sanitize=sanitize, telemetry_dir=telemetry_dir, shards=shards
+    )
+
+
+def _worker_init() -> None:
+    """Pool-worker initializer: per the fork-safety contract in
+    docs/PERF.md, a forked worker begins with cold codec caches."""
+    from repro.bgp import reset_caches
+
+    reset_caches()
 
 
 def _safe_progress(
@@ -208,6 +221,7 @@ def run_grid(
     journal: "RunJournal | None" = None,
     resume: bool = False,
     registry=None,
+    shards: int = 1,
 ) -> GridReport:
     """Run every cell, through the cache when one is given.
 
@@ -226,7 +240,9 @@ def run_grid(
     outcome; with *resume* the journal is replayed first and completed
     cells are skipped. *registry* publishes the
     ``grid_retries / grid_timeouts / grid_worker_crashes / grid_cells``
-    counters of the run.
+    counters of the run. *shards* runs each executed topology cell on
+    the conservative parallel engine (byte-identical results; scenario
+    cells ignore it).
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1: {workers}")
@@ -280,16 +296,22 @@ def run_grid(
             progress,
             sanitize=sanitize,
             telemetry_dir=telemetry_dir,
+            shards=shards,
         )
     elif pending:
         execute = functools.partial(
-            _execute_cell, sanitize=sanitize, telemetry_dir=telemetry_dir
+            _execute_cell,
+            sanitize=sanitize,
+            telemetry_dir=telemetry_dir,
+            shards=shards,
         )
         if report.workers <= 1:
             for cell in pending:
                 complete(cell, execute(cell)[1])
         else:
-            with ProcessPoolExecutor(max_workers=report.workers) as pool:
+            with ProcessPoolExecutor(
+                max_workers=report.workers, initializer=_worker_init
+            ) as pool:
                 try:
                     for cell, (_cell_id, result) in zip(
                         pending, pool.map(execute, pending)
@@ -318,6 +340,7 @@ def _run_supervised(
     progress: "Callable[[str, bool], None]",
     sanitize: bool,
     telemetry_dir: "str | None",
+    shards: int = 1,
 ) -> None:
     """Drive *pending* through the supervisor, folding outcomes into
     *report* (results via *complete*, failures into the manifest)."""
@@ -329,6 +352,7 @@ def _run_supervised(
         sanitize=sanitize,
         telemetry_dir=telemetry_dir,
         chaos=chaos,
+        shards=shards,
     )
 
     def on_success(cell: GridCell, result: dict, records) -> None:

@@ -68,11 +68,22 @@ def _attempt_main(
     sanitize: bool,
     telemetry_dir: "str | None",
     fault,
+    shards: int = 1,
+    shard_chaos: "dict[int, object] | None" = None,
 ) -> None:
     """Worker entry point — top-level so it pickles under spawn too."""
+    from repro.bgp import reset_caches
+
+    reset_caches()  # fork-safety contract: workers begin cold (docs/PERF.md)
     try:
         apply_chaos(fault, attempt)
-        result = run_cell(cell, sanitize=sanitize, telemetry_dir=telemetry_dir)
+        result = run_cell(
+            cell,
+            sanitize=sanitize,
+            telemetry_dir=telemetry_dir,
+            shards=shards,
+            shard_chaos=shard_chaos,
+        )
         conn.send(("ok", result))
     except BaseException as error:  # noqa: BLE001 — report, never escape
         try:
@@ -123,13 +134,32 @@ class Supervisor:
         sanitize: bool = False,
         telemetry_dir: "str | None" = None,
         chaos: "ChaosPlan | None" = None,
+        shards: int = 1,
     ):
         self.policy = policy
         self.workers = max(1, workers)
         self.sanitize = sanitize
         self.telemetry_dir = telemetry_dir
         self.chaos = chaos
+        self.shards = max(1, shards)
         self._ctx = multiprocessing.get_context()
+
+    def _shard_chaos(self, cell_id: str, attempt: int) -> "dict[int, object] | None":
+        """Shard-scoped faults for one cell attempt: chaos-plan entries
+        keyed ``<cell_id>/shard<i>`` target shard *i*'s process. The
+        fault's ``times`` budget counts **cell attempts** (a shard
+        process is always the fault's first sight), so a crash-once
+        fault fails attempt 0 and lets the retry through — filtered
+        here because only the supervisor knows the attempt number."""
+        if self.chaos is None or self.shards <= 1:
+            return None
+        faults = {
+            index: fault
+            for index in range(self.shards)
+            if (fault := self.chaos.get(f"{cell_id}/shard{index}")) is not None
+            and fault.applies(attempt)
+        }
+        return faults or None
 
     # -- lifecycle of one attempt ------------------------------------------
 
@@ -139,9 +169,14 @@ class Supervisor:
         process = self._ctx.Process(
             target=_attempt_main,
             args=(child_conn, task.cell, task.attempt, self.sanitize,
-                  self.telemetry_dir, fault),
+                  self.telemetry_dir, fault, self.shards,
+                  self._shard_chaos(task.cell.cell_id, task.attempt)),
             name=f"grid-{task.cell.cell_id}-a{task.attempt}",
-            daemon=True,
+            # A sharded attempt spawns shard processes of its own;
+            # daemonic processes cannot have children, so supervision
+            # falls back to kill-the-tree-root semantics there (the
+            # shards exit on pipe EOF when the attempt dies).
+            daemon=self.shards <= 1,
         )
         process.start()
         child_conn.close()  # EOF on the parent end now means worker death

@@ -8,7 +8,7 @@ increases the complexity significantly over OSPF and RIP."
 
 This package implements both protocols over a shared topology model so
 that complexity claim can be measured rather than asserted — see
-``benchmarks/test_protocol_comparison.py``.
+``benchmarks/paper/test_protocol_comparison.py``.
 """
 
 from repro.igp.ospf import (

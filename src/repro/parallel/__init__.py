@@ -1,0 +1,32 @@
+"""Conservative parallel discrete-event engine with sharded routers.
+
+Public surface of the :mod:`repro.parallel` subsystem: partition a
+topology cell's routers across worker processes, run them under
+Chandy–Misra-style time-window barriers with per-link propagation
+delay as lookahead, and merge the shard results into output that is
+bit-identical to the serial engine's. See docs/PARALLEL.md.
+"""
+
+from repro.parallel.channel import RemoteUpdate, injection_key
+from repro.parallel.engine import (
+    LOOKAHEAD_FLOOR,
+    ParallelEngine,
+    ParallelStats,
+    run_topo_cell_parallel,
+)
+from repro.parallel.partition import Partition, Partitioner, PartitionError
+from repro.parallel.shard import ParallelError, ShardRuntime
+
+__all__ = [
+    "LOOKAHEAD_FLOOR",
+    "ParallelEngine",
+    "ParallelError",
+    "ParallelStats",
+    "Partition",
+    "PartitionError",
+    "Partitioner",
+    "RemoteUpdate",
+    "ShardRuntime",
+    "injection_key",
+    "run_topo_cell_parallel",
+]

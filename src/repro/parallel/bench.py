@@ -1,0 +1,187 @@
+"""Speedup curves for the conservative parallel engine (BENCH_10.json).
+
+Like :mod:`repro.perf.bench`, this is a deliberately nondeterministic
+corner of the tree: it reads the real wall clock to measure how the
+sharded engine scales on this machine. Results never feed the
+simulation or the golden gate — they land in ``BENCH_10.json``.
+
+Two topology workloads (convergence and withdraw-storm on the same
+sized hierarchy) run serially and then at each shard count. For every
+parallel run we record two numbers:
+
+* ``speedup`` — serial wall / parallel wall, the honest measurement on
+  *this* machine (on a single-CPU box the shard processes time-slice
+  one core, so this sits at or below 1.0);
+* ``projected_speedup`` — serial wall / max per-shard busy time: the
+  barrier protocol's critical path, i.e. what an unloaded machine with
+  one core per shard would see. The per-shard busy clocks come from
+  :class:`~repro.parallel.engine.ParallelStats`.
+
+The payload's ``meta.cpus`` records how many cores the measurement
+actually had, so a reader can tell which of the two columns reflects
+achievable wall-clock gain.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from dataclasses import dataclass
+
+from repro.parallel.engine import ParallelEngine
+from repro.topo.families import TopoCell, run_topo_cell
+
+__all__ = [
+    "PROJECTED_SPEEDUP_TARGET",
+    "SHARD_COUNTS",
+    "SIZES",
+    "ParallelBenchResult",
+    "check_payload",
+    "projected_speedup_at",
+    "run_parallel_suite",
+]
+
+#: The scaling bar ``--check`` holds a payload to: every workload's
+#: projected speedup at 4 shards must reach this.
+PROJECTED_SPEEDUP_TARGET = 2.0
+
+#: The speedup-curve x axis.
+SHARD_COUNTS = (1, 2, 4, 8)
+
+#: Workload sizing. ``quick`` is the CI smoke profile; ``full`` is what
+#: blessed BENCH_10.json numbers are measured with.
+SIZES = {
+    "full": {"tier1": 3, "tier2": 8, "stubs": 40, "origins": 5},
+    "quick": {"tier1": 2, "tier2": 5, "stubs": 18, "origins": 2},
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ParallelBenchResult:
+    """One (workload, shard count) point on the speedup curve."""
+
+    workload: str
+    shards: int
+    wall_s: float
+    serial_wall_s: float
+    busy_s: "tuple[float, ...]"
+    rounds: int
+    remote_messages: int
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_wall_s / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def max_busy_s(self) -> float:
+        return max(self.busy_s, default=0.0)
+
+    @property
+    def projected_speedup(self) -> float:
+        """Serial wall over the slowest shard's simulation time — the
+        conservative protocol's critical path with a core per shard."""
+        busy = self.max_busy_s
+        return self.serial_wall_s / busy if busy > 0 else 0.0
+
+    def to_json(self) -> "dict[str, object]":
+        return {
+            "shards": self.shards,
+            "wall_s": round(self.wall_s, 6),
+            "speedup": round(self.speedup, 3),
+            "busy_s": [round(busy, 6) for busy in self.busy_s],
+            "max_busy_s": round(self.max_busy_s, 6),
+            "projected_speedup": round(self.projected_speedup, 3),
+            "rounds": self.rounds,
+            "remote_messages": self.remote_messages,
+        }
+
+
+def _wall(run) -> float:
+    start = time.perf_counter()  # repro: noqa[RPR001]
+    run()
+    return time.perf_counter() - start  # repro: noqa[RPR001]
+
+
+def _bench_cells(size: "dict[str, int]") -> "list[TopoCell]":
+    return [
+        TopoCell(family="convergence", **size),
+        TopoCell(family="withdraw", **size),
+    ]
+
+
+def run_parallel_suite(
+    quick: bool = False, shard_counts: "tuple[int, ...]" = SHARD_COUNTS
+) -> "dict[str, object]":
+    """Run the speedup curves; returns the BENCH_10.json payload."""
+    size = SIZES["quick" if quick else "full"]
+    workloads: "dict[str, object]" = {}
+    for cell in _bench_cells(size):
+        serial_wall = _wall(lambda: run_topo_cell(cell))
+        curve = []
+        for shards in shard_counts:
+            engine = ParallelEngine(cell, shards=shards)
+            wall = _wall(engine.run)
+            curve.append(
+                ParallelBenchResult(
+                    workload=cell.family,
+                    shards=shards,
+                    wall_s=wall,
+                    serial_wall_s=serial_wall,
+                    busy_s=tuple(engine.stats.busy_s),
+                    rounds=engine.stats.rounds,
+                    remote_messages=engine.stats.remote_messages,
+                )
+            )
+        workloads[cell.family] = {
+            "cell": cell.cell_id,
+            "serial_wall_s": round(serial_wall, 6),
+            "curve": [point.to_json() for point in curve],
+        }
+    return {
+        "meta": {
+            "bench": "parallel_engine",
+            "profile": "quick" if quick else "full",
+            "cpus": os.cpu_count() or 1,
+            "py_version": platform.python_version(),
+            "platform": f"{platform.system()}-{platform.machine()}",
+            "shard_counts": list(shard_counts),
+        },
+        "workloads": workloads,
+    }
+
+
+def projected_speedup_at(
+    payload: "dict[str, object]", workload: str, shards: int
+) -> float:
+    """The recorded projected speedup for one curve point; 0.0 when the
+    payload has no such point (e.g. a foreign or truncated file)."""
+    try:
+        curve = payload["workloads"][workload]["curve"]  # type: ignore[index]
+        for point in curve:  # type: ignore[union-attr]
+            if point["shards"] == shards:  # type: ignore[index]
+                return float(point["projected_speedup"])  # type: ignore[arg-type,index]
+    except (KeyError, TypeError, ValueError):
+        pass
+    return 0.0
+
+
+def check_payload(
+    payload: "dict[str, object]",
+    shards: int = 4,
+    target: float = PROJECTED_SPEEDUP_TARGET,
+) -> "list[str]":
+    """Gate a BENCH_10 payload: violation messages, empty when every
+    workload's projected speedup at *shards* shards reaches *target*."""
+    workloads = payload.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        return ["payload has no workloads"]
+    violations = []
+    for workload in sorted(workloads):
+        projected = projected_speedup_at(payload, workload, shards)
+        if projected < target:
+            violations.append(
+                f"{workload}: projected speedup {projected:.2f}x at "
+                f"{shards} shards, target {target:g}x"
+            )
+    return violations

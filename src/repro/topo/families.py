@@ -269,6 +269,72 @@ def _announce_all(harness: TopologyHarness, origins: "tuple[int, ...]") -> None:
         )
 
 
+def _withdraw_all(harness: TopologyHarness, origins: "tuple[int, ...]") -> None:
+    for asn in origins:
+        harness.sim.schedule(
+            0.0, partial(harness.nodes[asn].withdraw, origin_prefix(asn))
+        )
+
+
+def _schedule_flaps(
+    flaps: int,
+    flap_interval: float,
+    harness: TopologyHarness,
+    origins: "tuple[int, ...]",
+) -> None:
+    for asn in origins:
+        node = harness.nodes[asn]
+        prefix = origin_prefix(asn)
+        for flap in range(flaps):
+            harness.sim.schedule(flap * flap_interval, partial(node.originate, prefix))
+            harness.sim.schedule(
+                flap * flap_interval + flap_interval / 2,
+                partial(node.withdraw, prefix),
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class PhasePlan:
+    """One phase of a family: what gets scheduled, and whether the
+    phase is the measured one.
+
+    The single definition both engines execute: the serial runner
+    (:func:`_run_phases`) schedules each plan against the whole origin
+    set, a :class:`~repro.parallel.shard.ShardRuntime` schedules the
+    same plan against the origins its shard owns — so the event
+    population is identical by construction. ``schedule`` is called as
+    ``schedule(harness, origins)`` with the simulator clock already at
+    the phase start; scheduled delays are phase-relative.
+    """
+
+    name: str
+    measured: bool
+    schedule: "object"  # Callable[[TopologyHarness, tuple[int, ...]], None]
+
+    def to_jsonable(self) -> "dict[str, object]":
+        # The schedule callable never serialises: both engines rebuild
+        # plans from the cell spec via phase_plans(), so the wire shape
+        # is the identity of the phase, not its behaviour.
+        return {"name": self.name, "measured": self.measured}
+
+
+def phase_plans(cell: TopoCell) -> "tuple[PhasePlan, ...]":
+    """The family's phase sequence. The measured phase is always last
+    (collection reads the post-run harness state)."""
+    if cell.family == "convergence":
+        return (PhasePlan("announce", True, _announce_all),)
+    if cell.family == "withdraw":
+        return (
+            PhasePlan("setup", False, _announce_all),
+            PhasePlan("withdraw", True, _withdraw_all),
+        )
+    return (
+        PhasePlan(
+            "flap", True, partial(_schedule_flaps, cell.flaps, cell.flap_interval)
+        ),
+    )
+
+
 def _collect(
     cell: TopoCell,
     harness: TopologyHarness,
@@ -318,64 +384,24 @@ def _collect(
     )
 
 
-def _run_convergence(
+def _run_phases(
     cell: TopoCell, harness: TopologyHarness, origins: "tuple[int, ...]"
 ) -> TopoResult:
-    """Origin announce at t=0 -> quiescence time and total UPDATE count."""
-    harness.reset_measurement()
-    harness.start_watch([origin_prefix(asn) for asn in origins])
+    """Run the family's phase plans serially and collect the result.
+
+    At each measured-phase boundary the work ledgers reset and ghost-path
+    watching (re)starts, exactly as the parallel shards do — keeping the
+    two engines event-for-event equivalent is the whole point of
+    expressing families as :class:`PhasePlan` data."""
     start = harness.sim.now
-    _announce_all(harness, origins)
-    harness.run()
+    for plan in phase_plans(cell):
+        if plan.measured:
+            harness.reset_measurement()
+            harness.start_watch([origin_prefix(asn) for asn in origins])
+            start = harness.sim.now
+        plan.schedule(harness, origins)
+        harness.run()
     return _collect(cell, harness, origins, start)
-
-
-def _run_withdraw(
-    cell: TopoCell, harness: TopologyHarness, origins: "tuple[int, ...]"
-) -> TopoResult:
-    """Converge (setup, unmeasured), then fail the origins: ghost paths
-    and the convergence tail of the WITHDRAW storm."""
-    _announce_all(harness, origins)
-    harness.run()
-    harness.reset_measurement()
-    harness.start_watch([origin_prefix(asn) for asn in origins])
-    start = harness.sim.now
-    for asn in origins:
-        harness.sim.schedule(
-            0.0, partial(harness.nodes[asn].withdraw, origin_prefix(asn))
-        )
-    harness.run()
-    return _collect(cell, harness, origins, start)
-
-
-def _run_churn(
-    cell: TopoCell, harness: TopologyHarness, origins: "tuple[int, ...]"
-) -> TopoResult:
-    """Sustained flapping: per-router transactions/s at graph scale,
-    with flap damping on or off per the cell spec."""
-    harness.reset_measurement()
-    harness.start_watch([origin_prefix(asn) for asn in origins])
-    start = harness.sim.now
-    for asn in origins:
-        node = harness.nodes[asn]
-        prefix = origin_prefix(asn)
-        for flap in range(cell.flaps):
-            harness.sim.schedule(
-                flap * cell.flap_interval, partial(node.originate, prefix)
-            )
-            harness.sim.schedule(
-                flap * cell.flap_interval + cell.flap_interval / 2,
-                partial(node.withdraw, prefix),
-            )
-    harness.run()
-    return _collect(cell, harness, origins, start)
-
-
-_FAMILY_RUNNERS = {
-    "convergence": _run_convergence,
-    "withdraw": _run_withdraw,
-    "churn": _run_churn,
-}
 
 
 def build_harness(cell: TopoCell) -> TopologyHarness:
@@ -401,6 +427,8 @@ def run_topo_cell(
     cell: TopoCell,
     sanitize: bool = False,
     telemetry_dir: "str | None" = None,
+    shards: int = 1,
+    shard_chaos: "Mapping[int, object] | None" = None,
 ) -> dict[str, object]:
     """Execute one topology cell from scratch; JSON-ready result.
 
@@ -415,7 +443,24 @@ def run_topo_cell(
     a :class:`~repro.telemetry.metrics.MetricRegistry` and written as
     ``<cell_id>.metrics.jsonl``. Both modes observe only: the result is
     byte-identical either way.
+
+    ``shards > 1`` runs the cell on the conservative parallel engine
+    (:mod:`repro.parallel`) instead — an execution knob, not part of
+    the cell spec, because the result (including the embedded spec) is
+    byte-identical to the serial run. *shard_chaos* injects
+    :class:`~repro.grid.chaos.ChaosFault`\\ s into individual shard
+    processes (testing only).
     """
+    if shards > 1:
+        from repro.parallel import run_topo_cell_parallel
+
+        return run_topo_cell_parallel(
+            cell,
+            shards=shards,
+            sanitize=sanitize,
+            telemetry_dir=telemetry_dir,
+            shard_chaos=shard_chaos,
+        )
     harness = build_harness(cell)
     origins = pick_origins(harness.topology, cell.origins, cell.seed)
     sanitizer = None
@@ -424,7 +469,7 @@ def run_topo_cell(
 
         sanitizer = TopologySanitizer(harness)
     try:
-        result = _FAMILY_RUNNERS[cell.family](cell, harness, origins)
+        result = _run_phases(cell, harness, origins)
         if sanitizer is not None:
             sanitizer.check_quiescent()
     except Exception as error:

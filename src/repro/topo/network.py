@@ -62,6 +62,23 @@ def peer_name(asn: int) -> str:
     return f"as{asn}"
 
 
+def draw_link_delays(
+    topology: AsTopology, seed: int, link_delay: float
+) -> "dict[tuple[int, int], float]":
+    """Per-link propagation delays, drawn over the sorted link list from
+    one seeded PRNG: delay in ``[0.5, 1.5) x link_delay``.
+
+    The single source of truth for link delays: the harness builds its
+    :class:`Link` objects from this mapping, and the parallel engine
+    (:mod:`repro.parallel`) derives its cross-shard lookahead from the
+    same draw — both sides see bit-equal floats by construction.
+    """
+    rng = random.Random(seed)
+    return {
+        (a, b): link_delay * (0.5 + rng.random()) for a, b in topology.links()
+    }
+
+
 @dataclass(slots=True)
 class Link:
     """One adjacency: endpoints, propagation delay, per-direction packets."""
@@ -375,11 +392,11 @@ class TopologyHarness:
                 self.nodes[asn] = SpeakerNode(self, asn)
 
         # Links with per-link delay drawn over the sorted link list from
-        # one seeded PRNG: delay in [0.5, 1.5) x link_delay.
-        rng = random.Random(seed)
-        self.links: dict[tuple[int, int], Link] = {}
-        for a, b in topology.links():
-            self.links[(a, b)] = Link(a, b, link_delay * (0.5 + rng.random()))
+        # one seeded PRNG (see draw_link_delays).
+        self.links: dict[tuple[int, int], Link] = {
+            (a, b): Link(a, b, delay)
+            for (a, b), delay in draw_link_delays(topology, seed, link_delay).items()
+        }
 
         # Peering config in sorted-neighbour order.
         for asn, node in self.nodes.items():
@@ -459,47 +476,76 @@ class TopologyHarness:
         :class:`~repro.telemetry.metrics.MetricRegistry`. Observe-only:
         results never read the registry back, so instrumented runs stay
         byte-identical."""
-        updates_sent = registry.counter(
-            "topo_updates_sent_total",
-            "UPDATE messages emitted, per AS",
-            labels=("asn",),
+        publish_topology_metrics(
+            registry,
+            (
+                (
+                    asn,
+                    node.speaker.work.updates_sent,
+                    node.speaker.work.updates_processed,
+                    node.speaker.work.transactions,
+                    node.mrai_deferrals,
+                    node.ghost_paths,
+                )
+                for asn, node in self.nodes.items()
+            ),
+            (
+                (link.a, link.b, link.a_to_b_packets, link.b_to_a_packets)
+                for link in self.links.values()
+            ),
         )
-        updates_received = registry.counter(
-            "topo_updates_received_total",
-            "UPDATE messages processed, per AS",
-            labels=("asn",),
-        )
-        transactions = registry.counter(
-            "topo_transactions_total",
-            "prefix-level route changes processed, per AS",
-            labels=("asn",),
-        )
-        deferrals = registry.counter(
-            "topo_mrai_deferrals_total",
-            "outbound changes withheld or coalesced by MRAI gates, per AS",
-            labels=("asn",),
-        )
-        ghosts = registry.counter(
-            "topo_ghost_paths_total",
-            "distinct transient best paths adopted during the watched phase, per AS",
-            labels=("asn",),
-        )
-        link_packets = registry.counter(
-            "topo_link_packets_total",
-            "packets carried, per directed link",
-            labels=("link",),
-        )
-        for asn, node in self.nodes.items():
-            label = str(asn)
-            work = node.speaker.work
-            updates_sent.inc(work.updates_sent, asn=label)
-            updates_received.inc(work.updates_processed, asn=label)
-            transactions.inc(work.transactions, asn=label)
-            deferrals.inc(node.mrai_deferrals, asn=label)
-            ghosts.inc(node.ghost_paths, asn=label)
-        for link in self.links.values():
-            link_packets.inc(link.a_to_b_packets, link=f"{link.a}->{link.b}")
-            link_packets.inc(link.b_to_a_packets, link=f"{link.b}->{link.a}")
+
+
+def publish_topology_metrics(registry, node_rows, link_rows) -> None:
+    """Publish topology counters from plain rows.
+
+    *node_rows* yields ``(asn, updates_sent, updates_received,
+    transactions, mrai_deferrals, ghost_paths)`` and *link_rows* yields
+    ``(a, b, a_to_b_packets, b_to_a_packets)`` — both in the harness's
+    canonical order (sorted ASN; ``topology.links()`` order). Shared
+    between :meth:`TopologyHarness.publish_metrics` (live nodes) and the
+    parallel engine (merged shard reports) so both produce byte-equal
+    metric artifacts."""
+    updates_sent = registry.counter(
+        "topo_updates_sent_total",
+        "UPDATE messages emitted, per AS",
+        labels=("asn",),
+    )
+    updates_received = registry.counter(
+        "topo_updates_received_total",
+        "UPDATE messages processed, per AS",
+        labels=("asn",),
+    )
+    transactions = registry.counter(
+        "topo_transactions_total",
+        "prefix-level route changes processed, per AS",
+        labels=("asn",),
+    )
+    deferrals = registry.counter(
+        "topo_mrai_deferrals_total",
+        "outbound changes withheld or coalesced by MRAI gates, per AS",
+        labels=("asn",),
+    )
+    ghosts = registry.counter(
+        "topo_ghost_paths_total",
+        "distinct transient best paths adopted during the watched phase, per AS",
+        labels=("asn",),
+    )
+    link_packets = registry.counter(
+        "topo_link_packets_total",
+        "packets carried, per directed link",
+        labels=("link",),
+    )
+    for asn, sent, received, txns, mrai_deferrals, ghost_paths in node_rows:
+        label = str(asn)
+        updates_sent.inc(sent, asn=label)
+        updates_received.inc(received, asn=label)
+        transactions.inc(txns, asn=label)
+        deferrals.inc(mrai_deferrals, asn=label)
+        ghosts.inc(ghost_paths, asn=label)
+    for a, b, a_to_b, b_to_a in link_rows:
+        link_packets.inc(a_to_b, link=f"{a}->{b}")
+        link_packets.inc(b_to_a, link=f"{b}->{a}")
 
 
 class TopologySanitizer(Sanitizer):

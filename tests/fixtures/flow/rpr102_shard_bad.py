@@ -1,0 +1,16 @@
+"""RPR102 bad (parallel engine): a module-global sequence counter on
+the shard-worker path — ``_shard_main`` is a declared worker entry, the
+mutation sits one call away, and per-process counters diverge across
+shards, breaking the deterministic cross-shard injection order."""
+
+_link_seq = {}
+
+
+def next_seq(link):
+    seq = _link_seq.get(link, 0)
+    _link_seq[link] = seq + 1
+    return seq
+
+
+def _shard_main(conn, spec):
+    return next_seq(spec)

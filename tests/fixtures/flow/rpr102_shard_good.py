@@ -1,0 +1,18 @@
+"""RPR102 good (parallel engine): the sequence counter lives on the
+shard runtime built inside the worker — every shard process owns its
+own, so there is no cross-shard state to diverge."""
+
+
+class Runtime:
+    def __init__(self):
+        self.link_seq = {}
+
+    def next_seq(self, link):
+        seq = self.link_seq.get(link, 0)
+        self.link_seq[link] = seq + 1
+        return seq
+
+
+def _shard_main(conn, spec):
+    runtime = Runtime()
+    return runtime.next_seq(spec)

@@ -84,6 +84,18 @@ class TestFixtures:
         report = analyze_fixture("rpr102_bad.py")
         assert "run_cell()" in report.findings[0].message
 
+    def test_rpr102_shard_entry_is_a_reachability_root(self):
+        """The parallel engine's shard process entry (``_shard_main``)
+        counts as a worker entry point for the shared-state census."""
+        report = analyze_fixture("rpr102_shard_bad.py")
+        assert {f.rule_id for f in report.findings} == {"RPR102"}
+        assert "_shard_main()" in report.findings[0].message
+        assert "_link_seq" in report.findings[0].message
+
+    def test_rpr102_shard_good_twin_is_clean(self):
+        report = analyze_fixture("rpr102_shard_good.py")
+        assert report.findings == [], render_flow_text(report)
+
 
 class TestCallGraph:
     def test_module_names_follow_package_layout(self, tmp_path):
